@@ -1,0 +1,59 @@
+// Ablation: battery-only UPS vs. hybrid battery+supercapacitor storage.
+//
+// SprintCon's UPS controller issues a spiky discharge command (it covers
+// the interactive fluctuation above P_cb). With a plain battery every
+// spike is battery wear; with the hybrid store (after [24]) the
+// supercapacitor absorbs the transients and the battery sees only the
+// smooth sustained component. This harness runs the canonical rig both
+// ways and reports the battery-side wear.
+#include <iostream>
+
+#include "common/table.hpp"
+#include "power/hybrid_store.hpp"
+#include "power/wear.hpp"
+#include "scenario/rig.hpp"
+
+int main() {
+  using namespace sprintcon;
+
+  std::cout << "Ablation - UPS storage technology (SprintCon, 15-minute "
+               "sprint)\n\n";
+  Table table({"storage", "delivered Wh", "battery Wh", "supercap Wh",
+               "battery DoD", "rainflow damage (1e-6 life/sprint)"});
+
+  for (double supercap_wh : {0.0, 10.0, 20.0, 40.0}) {
+    scenario::RigConfig config;
+    config.supercap_wh = supercap_wh;
+    scenario::Rig rig(config);
+    rig.run();
+
+    double battery_wh = rig.power_path().battery().total_discharged_wh();
+    double supercap_out = 0.0;
+    double battery_dod =
+        battery_wh / rig.power_path().battery().capacity_wh();
+    if (const auto* hybrid = dynamic_cast<const power::HybridStore*>(
+            &rig.power_path().battery())) {
+      battery_wh = hybrid->battery().total_discharged_wh();
+      supercap_out = hybrid->supercap().total_discharged_wh();
+      battery_dod = battery_wh / hybrid->battery().capacity_wh();
+    }
+    const double delivered =
+        rig.recorder().series("ups_power_w").integral() / 3600.0;
+
+    // Profile-aware wear: rainflow-count the battery's SOC trace.
+    const double damage = power::rainflow_damage(
+        rig.recorder().series("battery_component_soc").values());
+
+    table.add_row({supercap_wh == 0.0
+                       ? std::string("battery only")
+                       : "hybrid +" + format_fixed(supercap_wh, 0) + " Wh cap",
+                   format_fixed(delivered, 1), format_fixed(battery_wh, 1),
+                   format_fixed(supercap_out, 1), format_percent(battery_dod),
+                   format_fixed(damage * 1e6, 1)});
+  }
+  std::cout << table.to_string();
+  std::cout << "\nreading: the supercap absorbs the interactive transients;\n"
+               "the battery's depth of discharge (and hence replacement\n"
+               "cadence) improves with even a few Wh of capacitance.\n";
+  return 0;
+}

@@ -1,0 +1,84 @@
+// google-benchmark microbenchmarks: controller and simulator kernels.
+//
+// These quantify the runtime cost of the control stack itself — the MPC
+// solve that would run every 2 s on a rack controller, the eigenvalue
+// analysis, and full simulation throughput.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "control/eigen.hpp"
+#include "control/mpc.hpp"
+#include "control/qp.hpp"
+#include "scenario/rig.hpp"
+
+namespace {
+
+using namespace sprintcon;
+
+void BM_MpcStep(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  control::MpcConfig cfg;
+  cfg.prediction_horizon = 8;
+  cfg.control_horizon = 2;
+  control::MpcPowerController mpc(cfg);
+  control::MpcProblem p;
+  p.gains_w_per_f.assign(n, 20.0);
+  p.freq_current.assign(n, 0.5);
+  p.freq_min.assign(n, 0.2);
+  p.freq_max.assign(n, 1.0);
+  p.penalty_weights.assign(n, 4.0);
+  p.power_feedback_w = 20.0 * 0.5 * static_cast<double>(n);
+  p.power_target_w = p.power_feedback_w * 1.3;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mpc.step(p));
+  }
+  state.SetLabel(std::to_string(n) + " cores");
+}
+BENCHMARK(BM_MpcStep)->Arg(8)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_BoxQpSolve(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  control::Matrix a(n, n);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < n; ++c) a(r, c) = rng.uniform(-1.0, 1.0);
+  control::BoxQp qp;
+  qp.hessian = a.transposed() * a;
+  for (std::size_t i = 0; i < n; ++i) qp.hessian(i, i) += 1.0;
+  qp.gradient.assign(n, -1.0);
+  qp.lower.assign(n, 0.0);
+  qp.upper.assign(n, 1.0);
+  const control::Vector x0(n, 0.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(control::solve_box_qp(qp, x0));
+  }
+}
+BENCHMARK(BM_BoxQpSolve)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_Eigenvalues(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  control::Matrix a(n, n);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < n; ++c) a(r, c) = rng.uniform(-1.0, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(control::eigenvalues(a));
+  }
+}
+BENCHMARK(BM_Eigenvalues)->Arg(8)->Arg(32)->Arg(64);
+
+void BM_RigTick(benchmark::State& state) {
+  scenario::RigConfig config;
+  config.duration_s = 1e9;  // never self-terminates; we drive ticks
+  scenario::Rig rig(config);
+  for (auto _ : state) {
+    rig.simulation().step_once();
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel("16 servers / 128 cores per simulated second");
+}
+BENCHMARK(BM_RigTick);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,60 @@
+// Facility dashboard: run a small data-center floor of sprinting racks and
+// print the facility-level view an operator would watch — aggregate feed
+// draw, per-rack safety, and the effect of staggered overload windows.
+//
+//   ./build/examples/facility_dashboard [num_racks]
+#include <cstdlib>
+#include <iostream>
+
+#include "common/table.hpp"
+#include "scenario/facility.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sprintcon;
+
+  const std::size_t racks =
+      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 4;
+  if (racks == 0 || racks > 16) {
+    std::cerr << "usage: facility_dashboard [1..16 racks]\n";
+    return 1;
+  }
+
+  scenario::FacilityConfig config;
+  config.num_racks = racks;
+  config.staggered = true;
+  std::cout << "running " << racks
+            << " SprintCon racks with staggered overload windows...\n\n";
+  scenario::Facility facility(config);
+  facility.run();
+
+  Table rack_table({"rack", "offset (s)", "f_inter", "f_batch", "UPS Wh",
+                    "DoD", "trips", "deadlines"});
+  const auto summaries = facility.summaries();
+  for (std::size_t r = 0; r < facility.num_racks(); ++r) {
+    const auto& s = summaries[r];
+    rack_table.add_row(
+        {std::to_string(r),
+         format_fixed(facility.rig(r).config().sprint.schedule_offset_s, 0),
+         format_fixed(s.avg_freq_interactive, 2),
+         format_fixed(s.avg_freq_batch, 2),
+         format_fixed(s.ups_discharged_wh, 0),
+         format_percent(s.depth_of_discharge), std::to_string(s.cb_trips),
+         s.all_deadlines_met ? "met" : "MISSED"});
+  }
+  std::cout << rack_table.to_string();
+
+  const TimeSeries cb = facility.facility_cb_power();
+  const TimeSeries total = facility.facility_total_power();
+  std::cout << "\nfacility feed (sum over racks):\n"
+            << "  CB draw:   mean " << format_fixed(cb.mean() / 1000.0, 2)
+            << " kW, peak " << format_fixed(cb.max() / 1000.0, 2)
+            << " kW (peak/mean "
+            << format_fixed(facility.cb_peak_to_mean(), 3) << ")\n"
+            << "  total:     mean " << format_fixed(total.mean() / 1000.0, 2)
+            << " kW, peak " << format_fixed(total.max() / 1000.0, 2)
+            << " kW\n"
+            << "\nstaggering keeps the facility feed nearly flat; re-run\n"
+               "with config.staggered = false to see the synchronized\n"
+               "square wave (or see bench/ablation_stagger).\n";
+  return 0;
+}

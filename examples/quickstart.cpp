@@ -1,0 +1,51 @@
+// Quickstart: run the paper's 16-server rack under SprintCon for a
+// 15-minute sprint and print what happened.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <iostream>
+
+#include "metrics/summary.hpp"
+#include "scenario/rig.hpp"
+
+int main() {
+  using namespace sprintcon;
+
+  // The canonical configuration: 16 servers (8 cores each, half
+  // interactive / half batch), 3.2 kW breaker overloaded to 4.0 kW in
+  // 150 s windows, 400 Wh UPS, 12-minute batch deadlines.
+  scenario::RigConfig config;
+  config.policy = scenario::Policy::kSprintCon;
+
+  std::cout << "SprintCon quickstart: 15-minute sprint on "
+            << config.num_servers << " servers\n"
+            << "  CB rated " << config.sprint.cb_rated_w / 1000.0
+            << " kW, overload target "
+            << config.sprint.cb_overload_w() / 1000.0 << " kW\n"
+            << "  UPS capacity " << config.ups_capacity_wh << " Wh\n"
+            << "  batch deadline " << config.batch_deadline_s / 60.0
+            << " min\n\n";
+
+  scenario::Rig rig(config);
+  rig.run();
+  const metrics::RunSummary summary = rig.summary();
+
+  std::cout << "Result:\n";
+  const metrics::RunSummary runs[] = {summary};
+  metrics::print_summaries(std::cout, runs);
+
+  std::cout << "\nInterpretation:\n"
+            << "  * interactive cores ran at "
+            << summary.avg_freq_interactive
+            << " of peak frequency (SprintCon pins them at 1.0)\n"
+            << "  * batch cores averaged " << summary.avg_freq_batch
+            << " of peak - throttled to exactly meet their deadline\n"
+            << "  * the breaker tripped " << summary.cb_trips
+            << " times (SprintCon's budget keeps it below the trip curve)\n"
+            << "  * UPS depth of discharge: "
+            << summary.depth_of_discharge * 100.0 << "% ("
+            << summary.battery_cycle_life
+            << " LFP cycles at this depth)\n";
+  return 0;
+}

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Plot the CSV artifacts written by the bench harnesses.
+
+Usage:
+    # 1. generate artifacts
+    ./build/bench/fig5_uncontrolled --csv artifacts
+    ./build/bench/fig6_power_behavior --csv artifacts
+    ./build/bench/fig7_frequency_behavior --csv artifacts
+    # 2. plot everything found
+    python3 scripts/plot_figures.py artifacts [-o plots/]
+
+Each CSV has a `time_s` column plus one column per recorded channel; this
+script renders the channels a figure needs (power channels for fig5/fig6,
+frequency channels for fig7) into PNG files. Requires matplotlib.
+"""
+import argparse
+import csv
+import pathlib
+import sys
+
+
+def read_csv(path):
+    with open(path, newline="") as fh:
+        rows = list(csv.reader(fh))
+    header, data = rows[0], rows[1:]
+    cols = {name: [] for name in header}
+    for row in data:
+        for name, cell in zip(header, row):
+            cols[name].append(float(cell))
+    return cols
+
+
+POWER_CHANNELS = ["total_power_w", "cb_power_w", "ups_power_w", "cb_budget_w"]
+FREQ_CHANNELS = ["freq_interactive", "freq_batch"]
+
+
+def plot_file(path, out_dir, plt):
+    cols = read_csv(path)
+    t = [x / 60.0 for x in cols["time_s"]]  # minutes
+    stem = path.stem
+
+    def render(channels, ylabel, suffix):
+        present = [c for c in channels if c in cols]
+        if not present:
+            return
+        fig, ax = plt.subplots(figsize=(8, 3.2))
+        for name in present:
+            ax.plot(t, cols[name], label=name.replace("_", " "), linewidth=1.1)
+        ax.set_xlabel("time (min)")
+        ax.set_ylabel(ylabel)
+        ax.set_title(f"{stem} — {ylabel}")
+        ax.legend(loc="best", fontsize=8)
+        ax.grid(alpha=0.3)
+        fig.tight_layout()
+        out = out_dir / f"{stem}_{suffix}.png"
+        fig.savefig(out, dpi=140)
+        plt.close(fig)
+        print(f"wrote {out}")
+
+    render(POWER_CHANNELS, "power (W)", "power")
+    render(FREQ_CHANNELS, "normalized frequency", "freq")
+    render(["battery_soc", "cb_thermal_stress"], "state (0-1)", "state")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("artifact_dir", type=pathlib.Path)
+    parser.add_argument("-o", "--out", type=pathlib.Path, default=None,
+                        help="output directory (default: the artifact dir)")
+    args = parser.parse_args()
+
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        sys.exit("matplotlib is required: pip install matplotlib")
+
+    out_dir = args.out or args.artifact_dir
+    out_dir.mkdir(parents=True, exist_ok=True)
+    files = sorted(args.artifact_dir.glob("*.csv"))
+    if not files:
+        sys.exit(f"no CSV artifacts in {args.artifact_dir}")
+    for path in files:
+        plot_file(path, out_dir, plt)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+#include "common/cli.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <string_view>
+
+#include "common/csv.hpp"
+#include "common/validation.hpp"
+
+namespace sprintcon {
+
+BenchOptions parse_bench_options(int argc, const char* const* argv) {
+  BenchOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--csv") {
+      SPRINTCON_EXPECTS(i + 1 < argc, "--csv requires a directory argument");
+      options.csv_dir = argv[++i];
+    } else if (arg.rfind("--csv=", 0) == 0) {
+      options.csv_dir = std::string(arg.substr(6));
+    } else if (arg == "--help" || arg == "-h") {
+      options.help = true;
+    } else {
+      options.positional.emplace_back(arg);
+    }
+  }
+  return options;
+}
+
+std::string maybe_write_csv(const BenchOptions& options,
+                            const std::string& name,
+                            const std::vector<const TimeSeries*>& series) {
+  if (!options.csv_dir) return {};
+  namespace fs = std::filesystem;
+  const fs::path dir(*options.csv_dir);
+  fs::create_directories(dir);
+  const fs::path path = dir / (name + ".csv");
+  std::ofstream out(path);
+  SPRINTCON_EXPECTS(static_cast<bool>(out),
+                    "cannot open CSV artifact for writing: " + path.string());
+  write_series_csv(out, series);
+  return path.string();
+}
+
+}  // namespace sprintcon

@@ -1,0 +1,37 @@
+// Minimal command-line handling for the bench/example binaries.
+//
+// Every figure harness accepts `--csv <dir>` to dump the exact series
+// behind the figure as CSV (plottable outside the repo); this helper keeps
+// the parsing uniform and the binaries free of argv fiddling.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace sprintcon {
+
+class TimeSeries;
+
+/// Parsed common options for a bench binary.
+struct BenchOptions {
+  /// Directory to write CSV artifacts into (unset: no artifacts).
+  std::optional<std::string> csv_dir;
+  /// Remaining positional arguments.
+  std::vector<std::string> positional;
+  /// True when "--help" was requested.
+  bool help = false;
+};
+
+/// Parse argv. Recognized flags: --csv <dir>, --help / -h.
+/// Throws InvalidArgumentError when --csv is missing its value.
+BenchOptions parse_bench_options(int argc, const char* const* argv);
+
+/// If options request CSV output, write the series into
+/// `<csv_dir>/<name>.csv` (creating the directory) and return the path;
+/// otherwise return an empty string. Errors are reported by exception.
+std::string maybe_write_csv(const BenchOptions& options,
+                            const std::string& name,
+                            const std::vector<const TimeSeries*>& series);
+
+}  // namespace sprintcon

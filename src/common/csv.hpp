@@ -1,0 +1,46 @@
+// Minimal CSV emission for experiment artifacts.
+//
+// Every bench harness can dump the exact series behind a figure so results
+// are plottable outside the repo. Writing is streaming and escape-correct
+// for the (rare) case of commas/quotes in channel names.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sprintcon {
+
+class TimeSeries;
+
+/// Streaming CSV writer. Rows are flushed as they are completed.
+class CsvWriter {
+ public:
+  /// Writes to an externally owned stream (kept open by the caller).
+  explicit CsvWriter(std::ostream& out);
+
+  /// Emit the header row. Must be called before any data row.
+  void header(const std::vector<std::string>& columns);
+
+  /// Emit one data row; the column count must match the header.
+  void row(const std::vector<double>& values);
+
+  /// Emit one row of raw (pre-formatted) cells; escapes as needed.
+  void text_row(const std::vector<std::string>& cells);
+
+ private:
+  std::ostream& out_;
+  std::size_t columns_ = 0;
+  bool header_written_ = false;
+};
+
+/// Write a set of equally-sampled series as columns: time,name1,name2,...
+/// All series must share dt and start; shorter series pad with their last
+/// value so ragged ends do not lose rows.
+void write_series_csv(std::ostream& out, const std::vector<const TimeSeries*>& series);
+
+/// Escape a cell for CSV (quotes fields containing comma/quote/newline).
+std::string csv_escape(std::string_view cell);
+
+}  // namespace sprintcon

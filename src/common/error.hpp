@@ -1,0 +1,41 @@
+// Error types shared across the SprintCon libraries.
+//
+// The library distinguishes precondition violations (programming errors,
+// reported via SprintconError subclasses so tests can assert on them) from
+// simulated physical events (breaker trips, battery exhaustion), which are
+// modeled as ordinary state, never as exceptions.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace sprintcon {
+
+/// Base class for all exceptions thrown by SprintCon components.
+class SprintconError : public std::runtime_error {
+ public:
+  explicit SprintconError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a function argument or configuration value violates a
+/// documented precondition (e.g. negative capacity, empty horizon).
+class InvalidArgumentError : public SprintconError {
+ public:
+  explicit InvalidArgumentError(const std::string& what) : SprintconError(what) {}
+};
+
+/// Thrown when an operation is attempted in a state that does not permit it
+/// (e.g. stepping a simulation that was never configured).
+class InvalidStateError : public SprintconError {
+ public:
+  explicit InvalidStateError(const std::string& what) : SprintconError(what) {}
+};
+
+/// Thrown by numerical kernels when a computation cannot proceed
+/// (singular matrix, non-converging eigen iteration, ...).
+class NumericalError : public SprintconError {
+ public:
+  explicit NumericalError(const std::string& what) : SprintconError(what) {}
+};
+
+}  // namespace sprintcon

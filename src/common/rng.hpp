@@ -1,0 +1,68 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic element of the simulation (trace noise, workload phase
+// jitter, measurement error) draws from an Rng seeded explicitly by the
+// experiment configuration, so all figures in EXPERIMENTS.md are exactly
+// reproducible. The generator is xoshiro256** (public-domain algorithm by
+// Blackman & Vigna): fast, high quality, and trivially seedable via
+// SplitMix64 so that nearby seeds give uncorrelated streams.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace sprintcon {
+
+/// Deterministic random number generator (xoshiro256**).
+///
+/// Satisfies UniformRandomBitGenerator so it can also feed <random>
+/// distributions, but the common draws used by the simulator are provided
+/// directly as members.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seed via SplitMix64 expansion of a single 64-bit value.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+
+  /// Next raw 64-bit value.
+  result_type operator()() noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+
+  /// Integer uniform in [0, n) (n > 0). Uses rejection to avoid modulo bias.
+  std::uint64_t uniform_index(std::uint64_t n) noexcept;
+
+  /// Standard normal via Marsaglia polar method (cached spare).
+  double normal() noexcept;
+
+  /// Normal with mean/stddev.
+  double normal(double mean, double stddev) noexcept;
+
+  /// Exponential with the given rate (lambda > 0).
+  double exponential(double rate) noexcept;
+
+  /// Bernoulli draw with probability p of returning true.
+  bool bernoulli(double p) noexcept;
+
+  /// Split off an independent child stream; deterministic in the parent
+  /// state. Useful to give each server / workload its own stream.
+  Rng split() noexcept;
+
+ private:
+  std::uint64_t s_[4];
+  double spare_normal_ = 0.0;
+  bool has_spare_normal_ = false;
+};
+
+/// Draw a random permutation of {0, .., n-1} (Fisher-Yates).
+std::vector<std::size_t> random_permutation(std::size_t n, Rng& rng);
+
+}  // namespace sprintcon

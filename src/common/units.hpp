@@ -1,0 +1,63 @@
+// Unit conventions and conversion helpers.
+//
+// All quantities in SprintCon are SI doubles with the unit encoded in the
+// identifier name:
+//   *_w      watts               *_j      joules
+//   *_wh     watt-hours          *_s      seconds
+//   *_hz     hertz               f / freq normalized frequency in [0, 1]
+//
+// Normalized frequency maps the physical DVFS range of the evaluation
+// platform (400 MHz .. 2.0 GHz) onto [0.2, 1.0]: f_norm = f_hz / f_peak_hz.
+// The controller mathematics are unit-agnostic; these helpers keep the
+// boundaries honest.
+#pragma once
+
+namespace sprintcon::units {
+
+inline constexpr double kSecondsPerHour = 3600.0;
+inline constexpr double kSecondsPerMinute = 60.0;
+
+/// Convert watt-hours to joules (1 Wh = 3600 J).
+constexpr double wh_to_joules(double wh) noexcept { return wh * kSecondsPerHour; }
+
+/// Convert joules to watt-hours.
+constexpr double joules_to_wh(double j) noexcept { return j / kSecondsPerHour; }
+
+/// Convert minutes to seconds.
+constexpr double minutes_to_seconds(double min) noexcept { return min * kSecondsPerMinute; }
+
+/// Convert seconds to minutes.
+constexpr double seconds_to_minutes(double s) noexcept { return s / kSecondsPerMinute; }
+
+/// Energy (J) delivered by a constant power (W) over a duration (s).
+constexpr double power_over_time_j(double watts, double seconds) noexcept {
+  return watts * seconds;
+}
+
+/// Kilowatts to watts.
+constexpr double kw_to_w(double kw) noexcept { return kw * 1000.0; }
+
+/// Watts to kilowatts.
+constexpr double w_to_kw(double w) noexcept { return w / 1000.0; }
+
+/// Gigahertz to normalized frequency given a peak clock in GHz.
+constexpr double ghz_to_norm(double ghz, double peak_ghz) noexcept {
+  return ghz / peak_ghz;
+}
+
+namespace literals {
+
+constexpr double operator""_kW(long double v) { return static_cast<double>(v) * 1000.0; }
+constexpr double operator""_kW(unsigned long long v) { return static_cast<double>(v) * 1000.0; }
+constexpr double operator""_W(long double v) { return static_cast<double>(v); }
+constexpr double operator""_W(unsigned long long v) { return static_cast<double>(v); }
+constexpr double operator""_Wh(long double v) { return static_cast<double>(v); }
+constexpr double operator""_Wh(unsigned long long v) { return static_cast<double>(v); }
+constexpr double operator""_min(long double v) { return static_cast<double>(v) * 60.0; }
+constexpr double operator""_min(unsigned long long v) { return static_cast<double>(v) * 60.0; }
+constexpr double operator""_s(long double v) { return static_cast<double>(v); }
+constexpr double operator""_s(unsigned long long v) { return static_cast<double>(v); }
+
+}  // namespace literals
+
+}  // namespace sprintcon::units

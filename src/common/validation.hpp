@@ -1,0 +1,56 @@
+// Precondition helpers used throughout the library.
+//
+// Following the C++ Core Guidelines (I.6 "Prefer Expects() for expressing
+// preconditions"), every public entry point validates its inputs. We throw
+// typed exceptions rather than asserting so that misuse is testable and
+// recoverable by embedding applications.
+#pragma once
+
+#include <sstream>
+#include <string_view>
+
+#include "common/error.hpp"
+
+namespace sprintcon {
+
+namespace detail {
+
+[[noreturn]] inline void throw_invalid_argument(std::string_view expr,
+                                                std::string_view msg,
+                                                std::string_view file, int line) {
+  std::ostringstream os;
+  os << "precondition failed: " << expr;
+  if (!msg.empty()) os << " (" << msg << ")";
+  os << " at " << file << ':' << line;
+  throw InvalidArgumentError(os.str());
+}
+
+[[noreturn]] inline void throw_invalid_state(std::string_view expr,
+                                             std::string_view msg,
+                                             std::string_view file, int line) {
+  std::ostringstream os;
+  os << "state invariant failed: " << expr;
+  if (!msg.empty()) os << " (" << msg << ")";
+  os << " at " << file << ':' << line;
+  throw InvalidStateError(os.str());
+}
+
+}  // namespace detail
+
+/// Validate a documented precondition on arguments; throws InvalidArgumentError.
+#define SPRINTCON_EXPECTS(cond, msg)                                       \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::sprintcon::detail::throw_invalid_argument(#cond, (msg), __FILE__,  \
+                                                  __LINE__);               \
+  } while (false)
+
+/// Validate an internal state invariant; throws InvalidStateError.
+#define SPRINTCON_ENSURES(cond, msg)                                    \
+  do {                                                                  \
+    if (!(cond))                                                        \
+      ::sprintcon::detail::throw_invalid_state(#cond, (msg), __FILE__,  \
+                                               __LINE__);               \
+  } while (false)
+
+}  // namespace sprintcon

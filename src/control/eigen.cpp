@@ -1,0 +1,203 @@
+#include "control/eigen.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/validation.hpp"
+
+namespace sprintcon::control {
+
+Matrix hessenberg(const Matrix& a) {
+  SPRINTCON_EXPECTS(a.rows() == a.cols(), "hessenberg needs a square matrix");
+  const std::size_t n = a.rows();
+  Matrix h = a;
+  if (n < 3) return h;
+
+  for (std::size_t k = 0; k + 2 < n; ++k) {
+    // Householder vector annihilating h(k+2.., k).
+    double alpha = 0.0;
+    for (std::size_t i = k + 1; i < n; ++i) alpha += h(i, k) * h(i, k);
+    alpha = std::sqrt(alpha);
+    if (alpha < 1e-300) continue;
+    if (h(k + 1, k) > 0.0) alpha = -alpha;
+
+    Vector v(n, 0.0);
+    v[k + 1] = h(k + 1, k) - alpha;
+    for (std::size_t i = k + 2; i < n; ++i) v[i] = h(i, k);
+    double vnorm2 = 0.0;
+    for (std::size_t i = k + 1; i < n; ++i) vnorm2 += v[i] * v[i];
+    if (vnorm2 < 1e-300) continue;
+    const double beta = 2.0 / vnorm2;
+
+    // H <- P H with P = I - beta v v^T (affects rows k+1..n-1).
+    for (std::size_t c = 0; c < n; ++c) {
+      double s = 0.0;
+      for (std::size_t i = k + 1; i < n; ++i) s += v[i] * h(i, c);
+      s *= beta;
+      for (std::size_t i = k + 1; i < n; ++i) h(i, c) -= s * v[i];
+    }
+    // H <- H P (affects cols k+1..n-1).
+    for (std::size_t r = 0; r < n; ++r) {
+      double s = 0.0;
+      for (std::size_t j = k + 1; j < n; ++j) s += h(r, j) * v[j];
+      s *= beta;
+      for (std::size_t j = k + 1; j < n; ++j) h(r, j) -= s * v[j];
+    }
+    // Enforce exact zeros below the first subdiagonal in this column.
+    h(k + 1, k) = alpha;
+    for (std::size_t i = k + 2; i < n; ++i) h(i, k) = 0.0;
+  }
+  return h;
+}
+
+namespace {
+
+using Cx = std::complex<double>;
+
+/// Dense complex matrix, only used internally by the QR iteration.
+class CxMatrix {
+ public:
+  explicit CxMatrix(const Matrix& a) : n_(a.rows()), data_(n_ * n_) {
+    for (std::size_t r = 0; r < n_; ++r)
+      for (std::size_t c = 0; c < n_; ++c) (*this)(r, c) = Cx(a(r, c), 0.0);
+  }
+  std::size_t n() const noexcept { return n_; }
+  Cx& operator()(std::size_t r, std::size_t c) { return data_[r * n_ + c]; }
+  Cx operator()(std::size_t r, std::size_t c) const { return data_[r * n_ + c]; }
+
+ private:
+  std::size_t n_;
+  std::vector<Cx> data_;
+};
+
+/// Unitary 2x2 rotation G with G * [a; b] = [r; 0].
+struct GivensCx {
+  Cx g00, g01, g10, g11;
+};
+
+GivensCx make_givens(Cx a, Cx b) {
+  const double t = std::sqrt(std::norm(a) + std::norm(b));
+  if (t < 1e-300) return {Cx(1, 0), Cx(0, 0), Cx(0, 0), Cx(1, 0)};
+  const double inv = 1.0 / t;
+  return {std::conj(a) * inv, std::conj(b) * inv, -b * inv, a * inv};
+}
+
+/// Wilkinson shift: the eigenvalue of the trailing 2x2 block closest to
+/// the bottom-right entry.
+Cx wilkinson_shift(const CxMatrix& h, std::size_t hi) {
+  const Cx a = h(hi - 1, hi - 1), b = h(hi - 1, hi);
+  const Cx c = h(hi, hi - 1), d = h(hi, hi);
+  const Cx tr = a + d;
+  const Cx det = a * d - b * c;
+  const Cx disc = std::sqrt(tr * tr - 4.0 * det);
+  const Cx l1 = 0.5 * (tr + disc);
+  const Cx l2 = 0.5 * (tr - disc);
+  return (std::abs(l1 - d) < std::abs(l2 - d)) ? l1 : l2;
+}
+
+/// One shifted QR sweep on the active Hessenberg block [lo..hi].
+void qr_step(CxMatrix& h, std::size_t lo, std::size_t hi, Cx mu) {
+  for (std::size_t i = lo; i <= hi; ++i) h(i, i) -= mu;
+
+  // Factor: chase the subdiagonal with Givens rotations (store them).
+  std::vector<GivensCx> rot(hi - lo);
+  for (std::size_t k = lo; k < hi; ++k) {
+    const GivensCx g = make_givens(h(k, k), h(k + 1, k));
+    rot[k - lo] = g;
+    for (std::size_t c = k; c <= hi; ++c) {
+      const Cx x = h(k, c), y = h(k + 1, c);
+      h(k, c) = g.g00 * x + g.g01 * y;
+      h(k + 1, c) = g.g10 * x + g.g11 * y;
+    }
+    h(k + 1, k) = Cx(0, 0);  // exact by construction
+  }
+  // Multiply back: H <- R Q^H, applying each rotation on the right.
+  for (std::size_t k = lo; k < hi; ++k) {
+    const GivensCx& g = rot[k - lo];
+    const std::size_t rmax = std::min(hi, k + 1);
+    for (std::size_t r = lo; r <= rmax; ++r) {
+      const Cx x = h(r, k), y = h(r, k + 1);
+      h(r, k) = x * std::conj(g.g00) + y * std::conj(g.g01);
+      h(r, k + 1) = x * std::conj(g.g10) + y * std::conj(g.g11);
+    }
+  }
+  for (std::size_t i = lo; i <= hi; ++i) h(i, i) += mu;
+}
+
+}  // namespace
+
+std::vector<std::complex<double>> eigenvalues(const Matrix& a) {
+  SPRINTCON_EXPECTS(a.rows() == a.cols(), "eigenvalues needs a square matrix");
+  const std::size_t n = a.rows();
+  std::vector<Cx> eig;
+  eig.reserve(n);
+  if (n == 0) return eig;
+
+  CxMatrix h(hessenberg(a));
+  std::size_t hi = n - 1;
+  int iters_this_block = 0;
+  int total_iters = 0;
+  const int max_total = 500 * static_cast<int>(n) + 500;
+
+  for (;;) {
+    if (hi == 0) {
+      eig.push_back(h(0, 0));
+      break;
+    }
+    // Deflation test at the bottom of the active block.
+    const double off = std::abs(h(hi, hi - 1));
+    const double scale_v =
+        std::abs(h(hi - 1, hi - 1)) + std::abs(h(hi, hi));
+    if (off <= 1e-13 * std::max(scale_v, 1e-30)) {
+      eig.push_back(h(hi, hi));
+      --hi;
+      iters_this_block = 0;
+      continue;
+    }
+
+    // Find the top of the unreduced block containing hi.
+    std::size_t lo = hi;
+    while (lo > 0) {
+      const double sub = std::abs(h(lo, lo - 1));
+      const double sc =
+          std::abs(h(lo - 1, lo - 1)) + std::abs(h(lo, lo));
+      if (sub <= 1e-13 * std::max(sc, 1e-30)) {
+        h(lo, lo - 1) = Cx(0, 0);
+        break;
+      }
+      --lo;
+    }
+
+    if (++total_iters > max_total)
+      throw NumericalError("eigenvalues: QR iteration did not converge");
+
+    Cx mu = wilkinson_shift(h, hi);
+    if (++iters_this_block % 20 == 0) {
+      // Exceptional shift to escape rare cycling patterns.
+      mu = Cx(std::abs(h(hi, hi - 1)) + std::abs(h(hi, hi)), 0.37);
+    }
+    qr_step(h, lo, hi, mu);
+  }
+
+  SPRINTCON_ENSURES(eig.size() == n, "eigenvalue count mismatch");
+  // Clean tiny imaginary parts that are pure round-off so real spectra
+  // report as real.
+  for (Cx& l : eig) {
+    if (std::abs(l.imag()) < 1e-9 * std::max(1.0, std::abs(l.real())))
+      l = Cx(l.real(), 0.0);
+  }
+  return eig;
+}
+
+double spectral_radius(const Matrix& a) {
+  double r = 0.0;
+  for (const auto& lambda : eigenvalues(a)) r = std::max(r, std::abs(lambda));
+  return r;
+}
+
+bool is_schur_stable(const Matrix& a, double margin) {
+  return spectral_radius(a) < 1.0 - margin;
+}
+
+}  // namespace sprintcon::control

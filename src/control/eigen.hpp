@@ -1,0 +1,34 @@
+// Eigenvalue computation for closed-loop stability analysis.
+//
+// Section V-C of the paper argues MPC stability by checking that all poles
+// of the closed-loop system lie inside the unit circle. We reproduce that
+// analysis numerically: reduce the closed-loop state matrix to Hessenberg
+// form (Householder reflectors) and run the Francis implicit double-shift
+// QR iteration, which handles complex-conjugate pole pairs without complex
+// arithmetic until deflation.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "control/matrix.hpp"
+
+namespace sprintcon::control {
+
+/// Reduce a square matrix to upper Hessenberg form by orthogonal similarity
+/// transforms. The eigenvalues are preserved.
+Matrix hessenberg(const Matrix& a);
+
+/// All eigenvalues of a real square matrix (complex pairs included).
+/// Throws NumericalError if the QR iteration fails to converge.
+std::vector<std::complex<double>> eigenvalues(const Matrix& a);
+
+/// Spectral radius: max |lambda| over all eigenvalues.
+double spectral_radius(const Matrix& a);
+
+/// True when every eigenvalue lies strictly inside the unit circle, i.e.
+/// the discrete-time system x(t+1) = A x(t) is asymptotically stable.
+/// `margin` shrinks the circle (poles must satisfy |lambda| < 1 - margin).
+bool is_schur_stable(const Matrix& a, double margin = 0.0);
+
+}  // namespace sprintcon::control

@@ -1,0 +1,175 @@
+#include "control/mpc.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/validation.hpp"
+#include "control/linalg.hpp"
+
+namespace sprintcon::control {
+
+namespace {
+
+void check_problem(const MpcProblem& p) {
+  const std::size_t n = p.gains_w_per_f.size();
+  SPRINTCON_EXPECTS(n > 0, "MPC problem needs at least one actuated core");
+  SPRINTCON_EXPECTS(p.freq_current.size() == n, "freq_current size mismatch");
+  SPRINTCON_EXPECTS(p.freq_min.size() == n, "freq_min size mismatch");
+  SPRINTCON_EXPECTS(p.freq_max.size() == n, "freq_max size mismatch");
+  SPRINTCON_EXPECTS(p.penalty_weights.size() == n,
+                    "penalty_weights size mismatch");
+  for (std::size_t i = 0; i < n; ++i) {
+    SPRINTCON_EXPECTS(p.freq_min[i] <= p.freq_max[i], "frequency bounds crossed");
+    SPRINTCON_EXPECTS(p.penalty_weights[i] >= 0.0, "penalty must be >= 0");
+    SPRINTCON_EXPECTS(p.gains_w_per_f[i] >= 0.0,
+                      "power gain must be non-negative");
+  }
+}
+
+}  // namespace
+
+MpcPowerController::MpcPowerController(const MpcConfig& config)
+    : config_(config) {
+  SPRINTCON_EXPECTS(config.control_horizon >= 1, "control horizon >= 1");
+  SPRINTCON_EXPECTS(config.prediction_horizon >= config.control_horizon,
+                    "prediction horizon must cover the control horizon");
+  SPRINTCON_EXPECTS(config.control_period_s > 0.0, "control period > 0");
+  SPRINTCON_EXPECTS(config.reference_time_constant_s > 0.0, "tau_r > 0");
+  SPRINTCON_EXPECTS(config.tracking_weight > 0.0, "tracking weight > 0");
+}
+
+MpcOutput MpcPowerController::step(const MpcProblem& problem) {
+  check_problem(problem);
+  const std::size_t n = problem.gains_w_per_f.size();
+  const std::size_t lc = config_.control_horizon;
+  const std::size_t lp = config_.prediction_horizon;
+  const std::size_t dim = n * lc;
+
+  // Reference trajectory (Eq. 7), evaluated at x = 1..Lp.
+  // r(x) = P - e^{-(T/tau) x} (P - p_fb)
+  const double decay =
+      std::exp(-config_.control_period_s / config_.reference_time_constant_s);
+  std::vector<double> reference(lp);
+  {
+    double e = problem.power_target_w - problem.power_feedback_w;
+    for (std::size_t s = 0; s < lp; ++s) {
+      e *= decay;
+      reference[s] = problem.power_target_w - e;
+    }
+  }
+
+  // Decision variables: z = [F(t+1); ...; F(t+Lc)] stacked. Predicted power
+  // at step s uses block min(s, Lc). The constant part of the prediction is
+  // p_fb(t) - K . F(t).
+  const double pred_base =
+      problem.power_feedback_w - dot(problem.gains_w_per_f, problem.freq_current);
+
+  BoxQp qp;
+  qp.hessian = Matrix(dim, dim, 0.0);
+  qp.gradient.assign(dim, 0.0);
+  qp.lower.assign(dim, 0.0);
+  qp.upper.assign(dim, 0.0);
+
+  const double q = config_.tracking_weight;
+  for (std::size_t b = 0; b < lc; ++b) {
+    // Number of prediction steps mapping to this block, and the sum of the
+    // (reference - base) terms over those steps.
+    const std::size_t first_step = b;            // 0-based step index s-1
+    const std::size_t last_step = (b + 1 == lc) ? lp - 1 : b;
+    double steps = 0.0;
+    double ref_sum = 0.0;
+    for (std::size_t s = first_step; s <= last_step; ++s) {
+      steps += 1.0;
+      ref_sum += reference[s] - pred_base;
+    }
+
+    const std::size_t off = b * n;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double ki = problem.gains_w_per_f[i];
+      // Tracking term: q * steps * K^T K block.
+      for (std::size_t j = 0; j < n; ++j) {
+        qp.hessian(off + i, off + j) +=
+            q * steps * ki * problem.gains_w_per_f[j];
+      }
+      // Control penalty: R on (z_b - F_max).
+      qp.hessian(off + i, off + i) += problem.penalty_weights[i];
+      qp.gradient[off + i] = -q * ki * ref_sum -
+                             problem.penalty_weights[i] * problem.freq_max[i];
+      qp.lower[off + i] = problem.freq_min[i];
+      qp.upper[off + i] = problem.freq_max[i];
+    }
+  }
+
+  // Optional DVFS slew limit, applied to the first block (the only one that
+  // is actuated).
+  if (config_.max_slew_per_period > 0.0) {
+    for (std::size_t i = 0; i < n; ++i) {
+      qp.lower[i] = std::max(
+          qp.lower[i], problem.freq_current[i] - config_.max_slew_per_period);
+      qp.upper[i] = std::min(
+          qp.upper[i], problem.freq_current[i] + config_.max_slew_per_period);
+      // Bounds may cross if the current frequency was set outside the box
+      // (e.g. after the actuated set changed); fall back to the hard bounds.
+      if (qp.lower[i] > qp.upper[i]) {
+        qp.lower[i] = problem.freq_min[i];
+        qp.upper[i] = problem.freq_max[i];
+      }
+    }
+  }
+
+  // Warm start from the previous solution when the shape is unchanged.
+  Vector x0;
+  if (warm_start_.size() == dim) {
+    x0 = warm_start_;
+  } else {
+    x0.reserve(dim);
+    for (std::size_t b = 0; b < lc; ++b)
+      x0.insert(x0.end(), problem.freq_current.begin(),
+                problem.freq_current.end());
+  }
+
+  MpcOutput out;
+  QpResult qp_result = solve_box_qp(qp, x0, config_.qp);
+  warm_start_ = qp_result.x;
+
+  out.freq_next.assign(qp_result.x.begin(), qp_result.x.begin() + static_cast<std::ptrdiff_t>(n));
+  out.predicted_power_w =
+      pred_base + dot(problem.gains_w_per_f, out.freq_next);
+  out.qp = std::move(qp_result);
+  return out;
+}
+
+Matrix mpc_closed_loop_matrix(const MpcConfig& config,
+                              const Vector& model_gains,
+                              const Vector& true_gains,
+                              const Vector& penalty) {
+  SPRINTCON_EXPECTS(model_gains.size() == true_gains.size(),
+                    "gain vector size mismatch");
+  SPRINTCON_EXPECTS(model_gains.size() == penalty.size(),
+                    "penalty vector size mismatch");
+  const std::size_t n = model_gains.size();
+  const double q = config.tracking_weight;
+  const double gamma =
+      1.0 - std::exp(-config.control_period_s /
+                     config.reference_time_constant_s);
+
+  // Unconstrained one-step law: M z = q K^T (r_1 - p_fb + K F) + R F_max
+  // with M = q K^T K + R. Substituting r_1 - p_fb = gamma (P - p_fb) and
+  // p_fb = K_true F + C gives the homogeneous part
+  //   F(t+1) = M^{-1} q K^T (K - gamma K_true) F(t) + const.
+  Matrix m(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j)
+      m(i, j) = q * model_gains[i] * model_gains[j];
+    m(i, i) += penalty[i];
+  }
+  Matrix rhs(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j)
+      rhs(i, j) =
+          q * model_gains[i] * (model_gains[j] - gamma * true_gains[j]);
+  }
+  return inverse(m) * rhs;
+}
+
+}  // namespace sprintcon::control

@@ -1,0 +1,97 @@
+// Model-predictive power controller (Section V of the paper).
+//
+// Controls the aggregate power of the cores running batch workloads to a
+// budget P_batch by choosing per-core DVFS frequencies. Each control period
+// the controller
+//   1. builds the reference trajectory p_r(t+x|t) = P_batch -
+//      e^{-(T/tau_r) x} (P_batch - p_fb(t))                     (Eq. 7)
+//   2. minimizes the tracking error + control penalty cost      (Eq. 8)
+//      subject to per-core frequency bounds                     (Eq. 9)
+//   3. applies the first step of the optimal frequency plan.
+//
+// The decision variables are parameterized as the absolute frequency
+// vectors at each control-horizon step (prefix sums of the paper's
+// Delta-F), which turns the frequency bounds into a plain box and the cost
+// into a convex QP solved by `solve_box_qp`.
+//
+// The control penalty weight R_j per core implements the paper's progress
+// balancing: R_j = remaining-progress / normalized-remaining-time, so jobs
+// that are behind schedule are pulled harder toward peak frequency.
+#pragma once
+
+#include <cstddef>
+
+#include "control/matrix.hpp"
+#include "control/qp.hpp"
+
+namespace sprintcon::control {
+
+/// Static tuning of the MPC loop.
+struct MpcConfig {
+  std::size_t prediction_horizon = 8;  ///< L_p, >= control_horizon
+  std::size_t control_horizon = 2;     ///< L_c, >= 1
+  double control_period_s = 2.0;       ///< T, seconds between invocations
+  double reference_time_constant_s = 4.0;  ///< tau_r of Eq. 7
+  double tracking_weight = 1.0;        ///< Q (uniform across the horizon)
+  /// Optional per-period slew limit on each frequency (normalized units);
+  /// <= 0 disables rate limiting.
+  double max_slew_per_period = 0.0;
+  QpOptions qp;
+};
+
+/// Per-invocation problem data.
+struct MpcProblem {
+  /// Power gain of each actuated core: dP/df in watts per unit of
+  /// normalized frequency (the controller's linear model, Eq. 4).
+  Vector gains_w_per_f;
+  /// Current normalized frequency of each actuated core.
+  Vector freq_current;
+  Vector freq_min;  ///< per-core lower bound (Eq. 9)
+  Vector freq_max;  ///< per-core upper bound (Eq. 9)
+  /// Control-penalty weight per core (progress balancing; must be >= 0).
+  Vector penalty_weights;
+  double power_feedback_w = 0.0;  ///< p_fb(t), Eq. 6
+  double power_target_w = 0.0;    ///< P_batch
+};
+
+/// Result of one control step.
+struct MpcOutput {
+  Vector freq_next;    ///< frequencies to apply in the next period
+  double predicted_power_w = 0.0;  ///< model-predicted p_batch(t+1)
+  QpResult qp;         ///< solver diagnostics
+};
+
+/// MPC instance; stateless between invocations except for the warm start.
+class MpcPowerController {
+ public:
+  explicit MpcPowerController(const MpcConfig& config);
+
+  const MpcConfig& config() const noexcept { return config_; }
+
+  /// Run one control period: solve the constrained QP and return the
+  /// frequency vector for the next period.
+  MpcOutput step(const MpcProblem& problem);
+
+  /// Reset the warm-start state (e.g. when the actuated core set changes).
+  void reset() noexcept { warm_start_.clear(); }
+
+ private:
+  MpcConfig config_;
+  Vector warm_start_;
+};
+
+/// Closed-loop state matrix of the *unconstrained* MPC law applied to a
+/// (possibly mismatched) true plant p = K_true . F + C. Used to reproduce
+/// the paper's Section V-C stability argument: the loop is stable iff all
+/// eigenvalues lie in the unit circle (check with is_schur_stable).
+///
+/// @param config       controller tuning (uses tau_r, T, Q)
+/// @param model_gains  K used inside the controller
+/// @param true_gains   actual plant gains (model_gains * error factor)
+/// @param penalty      per-core penalty weights R
+Matrix mpc_closed_loop_matrix(const MpcConfig& config,
+                              const Vector& model_gains,
+                              const Vector& true_gains,
+                              const Vector& penalty);
+
+}  // namespace sprintcon::control

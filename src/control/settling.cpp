@@ -1,0 +1,26 @@
+#include "control/settling.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/validation.hpp"
+#include "control/eigen.hpp"
+
+namespace sprintcon::control {
+
+double settling_periods(const Matrix& closed_loop, double tolerance) {
+  SPRINTCON_EXPECTS(tolerance > 0.0 && tolerance < 1.0,
+                    "settling tolerance must be in (0, 1)");
+  const double rho = spectral_radius(closed_loop);
+  if (rho >= 1.0) return std::numeric_limits<double>::infinity();
+  if (rho <= 0.0) return 0.0;  // deadbeat
+  return std::log(tolerance) / std::log(rho);
+}
+
+double settling_time_s(const Matrix& closed_loop, double control_period_s,
+                       double tolerance) {
+  SPRINTCON_EXPECTS(control_period_s > 0.0, "control period must be positive");
+  return settling_periods(closed_loop, tolerance) * control_period_s;
+}
+
+}  // namespace sprintcon::control

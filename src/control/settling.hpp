@@ -1,0 +1,26 @@
+// Settling-time analysis for discrete-time linear loops.
+//
+// Section V-C of the paper requires the power load allocator to move
+// P_batch slower than the MPC loop settles, "such that the controlled
+// batch workload power consumption can converge to P_batch before it is
+// adjusted again". These helpers quantify that: from the closed-loop
+// state matrix (mpc_closed_loop_matrix), the error contracts per period by
+// the spectral radius rho, so reaching a tolerance eps of the initial
+// error takes about ln(eps)/ln(rho) periods.
+#pragma once
+
+#include "control/matrix.hpp"
+
+namespace sprintcon::control {
+
+/// Number of control periods for the error of a stable discrete-time loop
+/// x(t+1) = A x(t) to contract below `tolerance` (fraction of the initial
+/// error, e.g. 0.05 for 5%-settling). Returns +infinity for an unstable
+/// loop and 0 for a deadbeat one (rho == 0).
+double settling_periods(const Matrix& closed_loop, double tolerance = 0.05);
+
+/// Same, in seconds given the control period.
+double settling_time_s(const Matrix& closed_loop, double control_period_s,
+                       double tolerance = 0.05);
+
+}  // namespace sprintcon::control

@@ -1,0 +1,100 @@
+// Power load allocator (Section IV of the paper).
+//
+// The allocator divides the sprinting power load between the two sources:
+//
+//  * P_cb — the control target for power delivered through the circuit
+//    breaker. For long bursts it follows a periodic overload schedule:
+//    `overload_duration` seconds at rated x overload-degree, then
+//    `recovery_duration` seconds at rated, repeating (Section IV-A).
+//
+//  * P_batch — the budget handed to the server power controller for the
+//    batch-workload cores. It is adapted every allocator period (much
+//    slower than the MPC settling time, Section IV-B) from two signals:
+//      1. deadline pressure: if any batch job would miss its deadline at
+//         the current pace, P_batch rises to the power needed to make it;
+//      2. interactive headroom: P_batch tracks P_cb minus the q-quantile
+//         of recent interactive power, so the CB capacity is highly
+//         utilized and UPS discharge is minimized.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/config.hpp"
+
+namespace sprintcon::core {
+
+/// What the allocator needs to know about one batch job.
+struct BatchJobStatus {
+  double remaining_work_s = 0.0;   ///< work left, seconds-at-peak
+  double time_left_s = 0.0;        ///< seconds until the deadline
+  double compute_fraction = 1.0;   ///< progress-model mu
+  /// Controller-model power gain of the core running the job (W per unit f).
+  double gain_w_per_f = 0.0;
+  double freq_min = 0.2;
+  double freq_max = 1.0;
+  /// Per-core constant power attributed to the job's core (idle share).
+  double constant_w = 0.0;
+  /// True while the job still races a deadline (its first execution is
+  /// incomplete); later passes of a repeating trace are throughput work
+  /// and exert no deadline pressure.
+  bool active = true;
+};
+
+/// The allocator's current outputs.
+struct AllocatorTargets {
+  double p_cb_w = 0.0;     ///< CB power target right now
+  double p_batch_w = 0.0;  ///< batch power budget right now
+  bool overloading = false;  ///< inside an overload window
+};
+
+/// Divides load between CB overload and UPS; see file comment.
+class PowerLoadAllocator {
+ public:
+  explicit PowerLoadAllocator(const SprintConfig& config);
+
+  /// CB target at a given time since sprint start, per the overload
+  /// schedule (no safety overrides applied here).
+  double p_cb_at(double t_since_start_s) const;
+  bool overloading_at(double t_since_start_s) const;
+
+  /// Record one observation of the estimated interactive power (Eq. 5);
+  /// the adaptation quantile is computed over the last allocator window.
+  void observe_interactive_power(double p_inter_w);
+
+  /// Run one adaptation step (call every allocator period).
+  /// @param t_since_start_s  time since the sprint started
+  /// @param jobs             status of every batch job on the rack
+  /// Returns the new P_batch.
+  double adapt(double t_since_start_s, const std::vector<BatchJobStatus>& jobs);
+
+  /// Current targets at a given time.
+  AllocatorTargets targets(double t_since_start_s) const;
+
+  /// Minimum total batch power needed for every job to meet its deadline
+  /// at a *constant* frequency (the instantaneous deadline floor).
+  /// Exposed for tests.
+  double deadline_floor_w(const std::vector<BatchJobStatus>& jobs) const;
+
+  /// The recovery-phase floor: batch jobs sprint on the free CB energy
+  /// during overload windows, so during recovery they only need the power
+  /// that keeps the *cycle-average* progress on the deadline pace.
+  /// Exposed for tests; `overload_batch_w` is the budget the jobs enjoy
+  /// during overload windows.
+  double recovery_floor_w(const std::vector<BatchJobStatus>& jobs,
+                          double overload_batch_w) const;
+
+  double p_batch() const noexcept { return p_batch_w_; }
+
+ private:
+  SprintConfig config_;
+  double p_batch_w_;
+  /// Offset below P_cb reserved for interactive power; P_batch(t) =
+  /// max(P_cb(t) - headroom, phase floor), clamped to [0, P_cb(t)].
+  double interactive_headroom_w_;
+  double deadline_floor_cache_w_ = 0.0;
+  double recovery_floor_cache_w_ = 0.0;
+  std::vector<double> inter_window_;
+};
+
+}  // namespace sprintcon::core

@@ -1,0 +1,49 @@
+#include "core/bidding.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/validation.hpp"
+
+namespace sprintcon::core {
+
+std::vector<double> allocate_power(double budget_w,
+                                   const std::vector<PowerBid>& bids) {
+  SPRINTCON_EXPECTS(budget_w >= 0.0, "budget must be non-negative");
+  for (const PowerBid& b : bids) {
+    SPRINTCON_EXPECTS(b.demand_w >= 0.0, "demand must be non-negative");
+    SPRINTCON_EXPECTS(b.bid >= 0.0, "bid must be non-negative");
+  }
+
+  std::vector<double> alloc(bids.size(), 0.0);
+  double remaining = budget_w;
+  std::vector<std::size_t> open;  // bidders not yet demand-capped
+  for (std::size_t i = 0; i < bids.size(); ++i) {
+    if (bids[i].demand_w > 0.0 && bids[i].bid > 0.0) open.push_back(i);
+  }
+
+  // Water-filling: repeatedly hand out budget proportionally to bids; any
+  // bidder that hits its demand cap is closed and its surplus recycled.
+  // Each pass closes at least one bidder, so this terminates in <= n passes.
+  while (remaining > 1e-9 && !open.empty()) {
+    double bid_sum = 0.0;
+    for (std::size_t i : open) bid_sum += bids[i].bid;
+
+    double distributed = 0.0;
+    std::vector<std::size_t> still_open;
+    for (std::size_t i : open) {
+      const double share = remaining * bids[i].bid / bid_sum;
+      const double headroom = bids[i].demand_w - alloc[i];
+      const double granted = std::min(share, headroom);
+      alloc[i] += granted;
+      distributed += granted;
+      if (alloc[i] < bids[i].demand_w - 1e-12) still_open.push_back(i);
+    }
+    remaining -= distributed;
+    if (still_open.size() == open.size()) break;  // nobody capped: done
+    open = std::move(still_open);
+  }
+  return alloc;
+}
+
+}  // namespace sprintcon::core

@@ -1,0 +1,29 @@
+// Power bidding for the degraded (UPS-conservation) mode.
+//
+// When the energy storage is running out, SprintCon caps the power of ALL
+// workloads to P_cb; the budget may then be inadequate, and the paper says
+// workloads "bid for power as in [2]" (the sprinting game). We implement
+// proportional-share bidding with demand caps: each class submits a bid
+// (its urgency-weighted demand); budget is allocated proportionally to the
+// bids, and any share above a class's actual demand is redistributed to
+// the others (water-filling).
+#pragma once
+
+#include <vector>
+
+namespace sprintcon::core {
+
+/// One bidder: a workload class (or any power-consuming group).
+struct PowerBid {
+  double bid = 1.0;       ///< urgency weight (> 0 unless demand is 0)
+  double demand_w = 0.0;  ///< power the class could actually use
+};
+
+/// Allocate `budget_w` among bidders proportionally to bids, never giving
+/// a bidder more than its demand; leftover budget is redistributed among
+/// still-unsatisfied bidders. Returns one allocation per bidder, summing
+/// to min(budget, total demand).
+std::vector<double> allocate_power(double budget_w,
+                                   const std::vector<PowerBid>& bids);
+
+}  // namespace sprintcon::core

@@ -1,0 +1,46 @@
+#include "core/cadence.hpp"
+
+#include <algorithm>
+
+#include "common/units.hpp"
+#include "common/validation.hpp"
+#include "power/battery.hpp"
+
+namespace sprintcon::core {
+
+CadencePlan plan_cadence(const CadenceInputs& inputs,
+                         double sprints_per_day) {
+  SPRINTCON_EXPECTS(inputs.sprint_duration_s > 0.0,
+                    "sprint duration must be positive");
+  SPRINTCON_EXPECTS(inputs.discharge_per_sprint_wh >= 0.0,
+                    "discharge must be non-negative");
+  SPRINTCON_EXPECTS(inputs.battery_capacity_wh > 0.0,
+                    "capacity must be positive");
+  SPRINTCON_EXPECTS(inputs.discharge_per_sprint_wh <=
+                        inputs.battery_capacity_wh,
+                    "one sprint cannot discharge more than the capacity");
+  SPRINTCON_EXPECTS(inputs.recharge_power_w > 0.0,
+                    "recharge power must be positive");
+  SPRINTCON_EXPECTS(inputs.charge_efficiency > 0.0 &&
+                        inputs.charge_efficiency <= 1.0,
+                    "charge efficiency must be in (0, 1]");
+  SPRINTCON_EXPECTS(sprints_per_day > 0.0, "cadence must be positive");
+
+  CadencePlan plan;
+  // Recharge time to put the sprint's energy back into the battery.
+  const double recharge_s =
+      units::wh_to_joules(inputs.discharge_per_sprint_wh) /
+      (inputs.recharge_power_w * inputs.charge_efficiency);
+  plan.min_period_s = inputs.sprint_duration_s + recharge_s;
+  plan.max_sprints_per_day = 24.0 * 3600.0 / plan.min_period_s;
+
+  const double cadence = std::min(sprints_per_day, plan.max_sprints_per_day);
+  const double dod =
+      inputs.discharge_per_sprint_wh / inputs.battery_capacity_wh;
+  plan.battery_life_days = power::lfp_lifetime_days(dod, cadence);
+  plan.daily_recharge_wh =
+      cadence * inputs.discharge_per_sprint_wh / inputs.charge_efficiency;
+  return plan;
+}
+
+}  // namespace sprintcon::core

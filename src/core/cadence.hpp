@@ -1,0 +1,43 @@
+// Sprint cadence planning.
+//
+// The paper's cost argument (Section VII-D) assumes "the 15-minute
+// sprinting process needs to be conducted 10 times per day". This helper
+// answers the operator's inverse questions: given the battery wear of one
+// sprint and the recharge infrastructure, how many sprints per day are
+// sustainable, and what battery life results?
+#pragma once
+
+namespace sprintcon::core {
+
+/// Inputs describing one sprint's storage footprint and the recharge path.
+struct CadenceInputs {
+  double sprint_duration_s = 900.0;
+  /// Energy drawn from the battery per sprint (Wh).
+  double discharge_per_sprint_wh = 68.0;
+  double battery_capacity_wh = 400.0;
+  /// Power available to recharge between sprints (W).
+  double recharge_power_w = 1000.0;
+  /// Charge efficiency (grid Wh in per battery Wh stored).
+  double charge_efficiency = 0.9;
+};
+
+/// Result of a cadence plan.
+struct CadencePlan {
+  /// Minimum gap between sprint starts so the battery is full again.
+  double min_period_s = 0.0;
+  /// Sprints per day at that cadence.
+  double max_sprints_per_day = 0.0;
+  /// Battery life (days) at `sprints_per_day`, from the DoD cycle-life
+  /// model, capped at the LFP shelf life.
+  double battery_life_days = 0.0;
+  /// Daily grid energy spent on recharging (Wh).
+  double daily_recharge_wh = 0.0;
+};
+
+/// Compute the sustainable cadence and its battery-economics consequences.
+/// @param sprints_per_day  intended cadence; clamped to the feasible max
+///                         in the returned plan's life/energy figures.
+/// Throws InvalidArgumentError on nonsensical inputs.
+CadencePlan plan_cadence(const CadenceInputs& inputs, double sprints_per_day);
+
+}  // namespace sprintcon::core

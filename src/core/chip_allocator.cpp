@@ -1,0 +1,37 @@
+#include "core/chip_allocator.hpp"
+
+#include "common/validation.hpp"
+#include "core/bidding.hpp"
+
+namespace sprintcon::core {
+
+std::vector<double> divide_frequency_quota(
+    double total_quota, const std::vector<CoreShare>& cores) {
+  SPRINTCON_EXPECTS(total_quota >= 0.0, "quota must be non-negative");
+  double min_sum = 0.0;
+  for (const CoreShare& core : cores) {
+    SPRINTCON_EXPECTS(core.weight >= 0.0, "weight must be non-negative");
+    SPRINTCON_EXPECTS(core.freq_min > 0.0 && core.freq_min <= core.freq_max,
+                      "core frequency bounds crossed");
+    min_sum += core.freq_min;
+  }
+
+  // The distributable quota is what exceeds the group's floor; division is
+  // the same weighted water-filling as the power bidding, with each core's
+  // headroom (max - min) as its demand.
+  std::vector<PowerBid> bids;
+  bids.reserve(cores.size());
+  for (const CoreShare& core : cores) {
+    bids.push_back({core.weight, core.freq_max - core.freq_min});
+  }
+  const std::vector<double> extra =
+      allocate_power(std::max(0.0, total_quota - min_sum), bids);
+
+  std::vector<double> freqs(cores.size());
+  for (std::size_t i = 0; i < cores.size(); ++i) {
+    freqs[i] = cores[i].freq_min + extra[i];
+  }
+  return freqs;
+}
+
+}  // namespace sprintcon::core

@@ -1,0 +1,33 @@
+// Chip-level frequency-quota division (Section IV-D of the paper).
+//
+// SprintCon's MPC treats cores as independent (one job per core). For
+// multi-threaded applications the paper prescribes the integration point:
+// SprintCon determines the *total frequency quota* of the group of cores
+// running one application, and a chip-level policy divides that quota
+// among the group's cores (after the global power-management literature it
+// cites, [25]-[28]). This module implements that division as weighted
+// water-filling over the cores' DVFS ranges.
+#pragma once
+
+#include <vector>
+
+namespace sprintcon::core {
+
+/// One core of an application group.
+struct CoreShare {
+  /// Relative importance (e.g. the thread's criticality or load); >= 0.
+  double weight = 1.0;
+  double freq_min = 0.2;
+  double freq_max = 1.0;
+};
+
+/// Divide a total frequency quota (the sum of the group's normalized
+/// frequencies) among the cores: every core gets at least its freq_min;
+/// the remainder is distributed proportionally to the weights, capped at
+/// each core's freq_max with surplus redistribution. A quota below the
+/// group's minimum clamps everyone to freq_min; above the maximum, to
+/// freq_max. Returns one frequency per core.
+std::vector<double> divide_frequency_quota(double total_quota,
+                                           const std::vector<CoreShare>& cores);
+
+}  // namespace sprintcon::core

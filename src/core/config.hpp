@@ -1,0 +1,97 @@
+// SprintCon configuration: every knob of the mechanism in one place.
+#pragma once
+
+#include "control/mpc.hpp"
+
+namespace sprintcon::core {
+
+/// How the power load allocator schedules CB overload over the burst
+/// (Section IV-A): short bursts sprint unconstrained, medium bursts
+/// overload continuously, long bursts overload periodically so the breaker
+/// can recover between windows.
+enum class OverloadPolicy {
+  kUnconstrained,  ///< burst < ~1 min: no CB power target
+  kContinuous,     ///< 5-10 min: overload for the whole burst
+  kPeriodic,       ///< >= ~15 min: overload/recover cycles (the default)
+};
+
+/// Full configuration of a SprintCon instance.
+struct SprintConfig {
+  // --- power infrastructure ---------------------------------------------
+  double cb_rated_w = 3200.0;      ///< breaker rated capacity
+  double cb_overload_degree = 1.25;  ///< overload target during windows
+  double cb_overload_duration_s = 150.0;
+  double cb_recovery_duration_s = 300.0;
+
+  // --- sprint shape -------------------------------------------------------
+  double burst_duration_s = 900.0;  ///< T_burst (15 minutes)
+  /// Thresholds picking the overload policy from T_burst.
+  double short_burst_s = 60.0;
+  double long_burst_s = 900.0;
+  /// Phase offset of the periodic overload schedule. Racks sharing a
+  /// facility feed can stagger their overload windows so the aggregate
+  /// draw stays flat (see bench/ablation_stagger).
+  double schedule_offset_s = 0.0;
+
+  // --- allocator ----------------------------------------------------------
+  double allocator_period_s = 30.0;  ///< P_batch adaptation period
+  /// Quantile of interactive power used to size its CB headroom: P_batch
+  /// tracks P_cb - quantile_q(p_inter). 0.9 reproduces the paper's "90% of
+  /// the time" rule.
+  double interactive_quantile = 0.9;
+  /// Per-period limit on P_batch moves, as a fraction of CB rated power
+  /// (keeps the target a slow outer loop relative to the MPC settling).
+  double p_batch_slew_fraction = 0.15;
+
+  // --- controllers ---------------------------------------------------------
+  double control_period_s = 2.0;  ///< server power controller period
+  double ups_period_s = 1.0;      ///< UPS power controller period
+  control::MpcConfig mpc;         ///< server power controller tuning
+  /// Per-core thermal guard: a batch core above its throttle temperature
+  /// has its frequency ceiling backed off until it cools.
+  bool thermal_guard = true;
+  /// How much the guard lowers a hot core's ceiling per control period
+  /// (normalized frequency).
+  double thermal_backoff_per_period = 0.1;
+  /// Online gain adaptation: estimate the true dP/df of the plant via
+  /// recursive least squares and blend it into the MPC model. Off by
+  /// default (the paper's controller uses the fixed linear model and lets
+  /// feedback absorb the error).
+  bool adaptive_gain = false;
+  /// Safety guard subtracted from P_cb when computing the UPS command, as
+  /// a fraction of P_cb (biases tracking error toward the UPS, not the CB).
+  double ups_guard_fraction = 0.0;
+  /// Disable the UPS power controller entirely (ablation: the breaker
+  /// must then absorb every interactive fluctuation above P_cb itself —
+  /// the failure mode the paper's second controller exists to prevent).
+  bool ups_controller_enabled = true;
+  /// Charger rating for refilling the UPS between sprints (from CB rated
+  /// headroom only — recharging never overloads the breaker). 0 disables;
+  /// periodic daily sprinting (Section VII-D's 10-per-day cadence)
+  /// requires it.
+  double recharge_power_w = 300.0;
+
+  // --- safety -----------------------------------------------------------
+  /// Thermal-stress fraction at which the safety monitor stops overloading.
+  /// The scheduled 150 s window ends at ~88% stress, so 0.92 is a backstop
+  /// that only fires when something (e.g. UPS saturation) pushes the CB
+  /// beyond its plan.
+  double near_trip_margin = 0.92;
+  double ups_reserve_fraction = 0.1;  ///< SOC to enter conservation mode
+
+  /// Pick the overload policy for a burst duration.
+  OverloadPolicy overload_policy() const noexcept;
+
+  /// CB power target during overload windows.
+  double cb_overload_w() const noexcept {
+    return cb_rated_w * cb_overload_degree;
+  }
+
+  /// Validate all invariants; throws InvalidArgumentError.
+  void validate() const;
+};
+
+/// The paper's evaluation configuration (Section VI-A).
+SprintConfig paper_config();
+
+}  // namespace sprintcon::core

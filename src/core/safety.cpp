@@ -1,0 +1,54 @@
+#include "core/safety.hpp"
+
+namespace sprintcon::core {
+
+namespace {
+// The CB-protect flag re-arms (allowing overload again) once the thermal
+// state has decayed well below the engagement margin.
+constexpr double kRearmStress = 0.3;
+}  // namespace
+
+const char* to_string(SprintState state) noexcept {
+  switch (state) {
+    case SprintState::kSprinting: return "sprinting";
+    case SprintState::kCbProtect: return "cb-protect";
+    case SprintState::kUpsConserve: return "ups-conserve";
+    case SprintState::kEnded: return "ended";
+  }
+  return "unknown";
+}
+
+SafetyMonitor::SafetyMonitor(const SprintConfig& config) : config_(config) {
+  config.validate();
+}
+
+SprintState SafetyMonitor::update(const power::CircuitBreaker& breaker,
+                                  const power::EnergyStore& battery) {
+  if (state_ == SprintState::kEnded) return state_;  // sticky
+
+  // Breaker watch: engage on near-trip (or an actual trip), re-arm only
+  // after substantial cooling.
+  if (breaker.open() || breaker.near_trip(config_.near_trip_margin)) {
+    cb_protect_ = true;
+  } else if (cb_protect_ && breaker.thermal_stress() < kRearmStress) {
+    cb_protect_ = false;
+  }
+
+  // Battery watch: sticky for the rest of the sprint.
+  if (battery.nearly_empty(config_.ups_reserve_fraction)) {
+    ups_conserve_ = true;
+  }
+
+  if (cb_protect_ && ups_conserve_) {
+    state_ = SprintState::kEnded;
+  } else if (ups_conserve_) {
+    state_ = SprintState::kUpsConserve;
+  } else if (cb_protect_) {
+    state_ = SprintState::kCbProtect;
+  } else {
+    state_ = SprintState::kSprinting;
+  }
+  return state_;
+}
+
+}  // namespace sprintcon::core

@@ -1,0 +1,49 @@
+// Sprint safety state machine (Section IV-C of the paper).
+//
+// During a sprint SprintCon monitors the circuit breaker and the energy
+// storage:
+//  * CB close to tripping  -> stop overloading; the UPS takes over the
+//    excess load (kCbProtect). The flag re-arms when the breaker cools.
+//  * UPS running out       -> P_cb becomes the budget for ALL workloads;
+//    workloads bid for power (kUpsConserve). Sticky — the battery will not
+//    refill mid-sprint.
+//  * both                  -> end the sprint (kEnded, sticky).
+#pragma once
+
+#include "core/config.hpp"
+#include "power/energy_store.hpp"
+#include "power/circuit_breaker.hpp"
+
+namespace sprintcon::core {
+
+/// Operating mode of the sprint.
+enum class SprintState {
+  kSprinting,   ///< normal controlled sprinting
+  kCbProtect,   ///< breaker near trip: no overloading
+  kUpsConserve, ///< battery low: cap everything to P_cb, bid for power
+  kEnded,       ///< both failed: sprint over
+};
+
+const char* to_string(SprintState state) noexcept;
+
+/// Watches the breaker and battery; derives the current SprintState.
+class SafetyMonitor {
+ public:
+  explicit SafetyMonitor(const SprintConfig& config);
+
+  /// Evaluate the monitors; call once per tick.
+  SprintState update(const power::CircuitBreaker& breaker,
+                     const power::EnergyStore& battery);
+
+  SprintState state() const noexcept { return state_; }
+  bool cb_protect() const noexcept { return cb_protect_; }
+  bool ups_conserve() const noexcept { return ups_conserve_; }
+
+ private:
+  SprintConfig config_;
+  bool cb_protect_ = false;
+  bool ups_conserve_ = false;
+  SprintState state_ = SprintState::kSprinting;
+};
+
+}  // namespace sprintcon::core

@@ -1,0 +1,146 @@
+#include "core/server_controller.hpp"
+
+#include <algorithm>
+
+#include "common/validation.hpp"
+
+namespace sprintcon::core {
+
+ServerPowerController::ServerPowerController(const SprintConfig& config,
+                                             server::Rack& rack,
+                                             server::LinearPowerModel model)
+    : config_(config),
+      rack_(rack),
+      model_(model),
+      mpc_(config.mpc),
+      gain_estimator_(model.gain_w_per_f()) {
+  config.validate();
+  SPRINTCON_EXPECTS(!rack.batch_cores().empty(),
+                    "server power controller needs batch cores to actuate");
+}
+
+double ServerPowerController::effective_gain_w_per_f() const {
+  return config_.adaptive_gain ? gain_estimator_.gain()
+                               : model_.gain_w_per_f();
+}
+
+double ServerPowerController::estimate_interactive_power_w() const {
+  // Eq. 5 with a frequency correction: during a sprint the interactive
+  // cores run at peak and the correction is exactly 1, but in the
+  // degraded (bidding) modes they may be throttled — estimating them at
+  // peak power would under-attribute the batch class and make the MPC
+  // push batch frequencies up against the cap.
+  double p = 0.0;
+  for (const server::Server& s : rack_.servers()) {
+    for (const server::CpuCore& core : s.cores()) {
+      if (!core.is_batch()) {
+        const double u = s.powered() ? core.utilization() : 0.0;
+        p += model_.constant_w() +
+             model_.interactive_gain_w_per_util() * u * core.freq();
+      }
+    }
+  }
+  return p;
+}
+
+void ServerPowerController::update(double p_total_w, double p_batch_target_w,
+                                   double now_s) {
+  SPRINTCON_EXPECTS(p_total_w >= 0.0, "measured power must be >= 0");
+  SPRINTCON_EXPECTS(p_batch_target_w >= 0.0, "P_batch must be >= 0");
+
+  const auto& refs = rack_.batch_cores();
+  const std::size_t n = refs.size();
+
+  // Eq. 6: the batch power cannot be metered directly on colocated
+  // servers, so subtract the modeled interactive power from the rack meter.
+  const double p_fb = std::max(0.0, p_total_w - estimate_interactive_power_w());
+
+  // Adaptive gain: learn dP/df from (applied frequency move, observed
+  // power change) pairs across control periods.
+  double freq_sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) freq_sum += rack_.core(refs[i]).freq();
+  if (config_.adaptive_gain && prev_freq_sum_ >= 0.0) {
+    gain_estimator_.observe(freq_sum - prev_freq_sum_, p_fb - prev_p_fb_w_);
+  }
+  prev_freq_sum_ = freq_sum;
+  prev_p_fb_w_ = p_fb;
+  last_p_fb_w_ = p_fb;
+
+  control::MpcProblem problem;
+  problem.gains_w_per_f.resize(n);
+  problem.freq_current.resize(n);
+  problem.freq_min.resize(n);
+  problem.freq_max.resize(n);
+  problem.penalty_weights.resize(n);
+
+  const double k = effective_gain_w_per_f();
+  for (std::size_t i = 0; i < n; ++i) {
+    const server::CpuCore& core = rack_.core(refs[i]);
+    problem.gains_w_per_f[i] = k;
+    problem.freq_current[i] = core.freq();
+    problem.freq_min[i] = core.freq_min();
+    // A finished run-once job idles its core at the DVFS floor.
+    problem.freq_max[i] =
+        core.job()->completed() ? core.freq_min() : core.freq_max();
+    // Thermal guard: a core above its throttle point gets its ceiling
+    // pulled below the current frequency so it must cool off.
+    if (config_.thermal_guard && core.thermally_throttled()) {
+      problem.freq_max[i] = std::max(
+          core.freq_min(),
+          std::min(problem.freq_max[i],
+                   core.freq() - config_.thermal_backoff_per_period));
+    }
+    const double weight = core.job()->penalty_weight(now_s);
+    problem.penalty_weights[i] =
+        std::max(weight, 1e-3) * penalty_scale_ * k * k;
+  }
+
+  problem.power_feedback_w = last_p_fb_w_;
+  problem.power_target_w = p_batch_target_w;
+
+  last_out_ = mpc_.step(problem);
+
+  // Step 3 of the loop: write the new frequencies to the DVFS actuators.
+  for (std::size_t i = 0; i < n; ++i) {
+    rack_.core(refs[i]).set_freq(last_out_.freq_next[i]);
+  }
+}
+
+void ServerPowerController::pin_interactive_at_peak() {
+  rack_.for_each_core(server::CoreRole::kInteractive, [](server::CpuCore& c) {
+    c.set_freq(c.freq_max());
+  });
+}
+
+void ServerPowerController::force_batch_frequency(double freq) {
+  rack_.for_each_core(server::CoreRole::kBatch, [freq](server::CpuCore& c) {
+    c.set_freq(freq);
+  });
+  mpc_.reset();
+}
+
+std::vector<BatchJobStatus> ServerPowerController::job_statuses(
+    double now_s) const {
+  std::vector<BatchJobStatus> out;
+  out.reserve(rack_.batch_cores().size());
+  for (const auto& ref : rack_.batch_cores()) {
+    const server::CpuCore& core = rack_.core(ref);
+    const workload::BatchJob& job = *core.job();
+    BatchJobStatus status;
+    status.remaining_work_s = job.remaining_work_s();
+    status.time_left_s = std::max(0.0, job.deadline_s() - now_s);
+    status.compute_fraction = job.model().compute_fraction();
+    status.gain_w_per_f = effective_gain_w_per_f();
+    status.constant_w = model_.constant_w();
+    status.freq_min = core.freq_min();
+    status.freq_max = core.freq_max();
+    // Deadline pressure applies while the first execution is incomplete;
+    // later passes of a repeating trace are throughput work (the paper's
+    // 15-minute continuous traces) and never raise the P_batch floor.
+    status.active = !job.completed() && job.completions() == 0;
+    out.push_back(status);
+  }
+  return out;
+}
+
+}  // namespace sprintcon::core

@@ -1,0 +1,76 @@
+// Server power controller (Section V of the paper).
+//
+// Every control period it executes the paper's four-step loop:
+//   1. read per-core monitors (utilization / perf counters, Eq. 5 inputs);
+//   2. compute the feedback power p_fb = p_total - p_inter (Eq. 6) and run
+//      the MPC to get new frequencies for the batch cores (Eq. 7-9);
+//   3. write the frequencies to the DVFS actuators;
+//   4. pick up the latest P_batch from the power load allocator.
+// Interactive cores are pinned at peak frequency throughout the sprint.
+#pragma once
+
+#include "control/mpc.hpp"
+#include "control/rls.hpp"
+#include "core/allocator.hpp"
+#include "core/config.hpp"
+#include "server/power_model.hpp"
+#include "server/rack.hpp"
+
+namespace sprintcon::core {
+
+/// MPC-based controller for the batch cores of one rack.
+class ServerPowerController {
+ public:
+  /// @param config  SprintCon configuration (MPC tuning, periods)
+  /// @param rack    controlled rack (must outlive the controller)
+  /// @param model   controller-side linear power model
+  ServerPowerController(const SprintConfig& config, server::Rack& rack,
+                        server::LinearPowerModel model);
+
+  /// Estimate of the interactive power from utilization monitors (Eq. 5).
+  double estimate_interactive_power_w() const;
+
+  /// Run one control period.
+  /// @param p_total_w       measured rack power (physical monitor)
+  /// @param p_batch_target  P_batch from the allocator
+  /// @param now_s           current simulation time (for R weights)
+  void update(double p_total_w, double p_batch_target_w, double now_s);
+
+  /// Pin every interactive core at peak frequency (start of sprint).
+  void pin_interactive_at_peak();
+
+  /// Force every batch core to a fixed frequency (sprint end / fallback).
+  void force_batch_frequency(double freq);
+
+  /// Feedback power used in the last update (Eq. 6).
+  double last_p_fb_w() const noexcept { return last_p_fb_w_; }
+  /// Diagnostics of the last MPC solve.
+  const control::MpcOutput& last_output() const noexcept { return last_out_; }
+  /// Gain currently used inside the MPC model (the offline model gain, or
+  /// the RLS estimate when adaptive_gain is enabled).
+  double effective_gain_w_per_f() const;
+
+  /// Status snapshot of every batch job for the allocator.
+  std::vector<BatchJobStatus> job_statuses(double now_s) const;
+
+  const server::LinearPowerModel& model() const noexcept { return model_; }
+
+ private:
+  SprintConfig config_;
+  server::Rack& rack_;
+  server::LinearPowerModel model_;
+  control::MpcPowerController mpc_;
+  control::GainEstimator gain_estimator_;
+  control::MpcOutput last_out_;
+  double last_p_fb_w_ = 0.0;
+  /// State for the adaptive-gain observation: the frequency sum we applied
+  /// last period and the feedback power we saw before applying it.
+  double prev_freq_sum_ = -1.0;
+  double prev_p_fb_w_ = 0.0;
+  /// Relative scale of the control penalty vs. the tracking term: R_j =
+  /// weight_j * penalty_scale * K_j^2. Small values keep budget tracking
+  /// dominant while the weights still decide the power distribution.
+  double penalty_scale_ = 0.02;
+};
+
+}  // namespace sprintcon::core

@@ -1,0 +1,171 @@
+#include "core/sprintcon.hpp"
+
+#include <algorithm>
+
+#include "common/validation.hpp"
+#include "server/platform.hpp"
+
+namespace sprintcon::core {
+
+SprintConController::SprintConController(const SprintConfig& config,
+                                         server::Rack& rack,
+                                         power::PowerPath& path)
+    : config_(config),
+      rack_(rack),
+      path_(path),
+      allocator_(config),
+      server_ctrl_(config, rack,
+                   server::LinearPowerModel(rack.servers().front().spec())),
+      ups_ctrl_(config),
+      safety_(config) {
+  config.validate();
+}
+
+double SprintConController::bid_batch_budget_w(double budget_w,
+                                               double p_inter_w,
+                                               double now_s) {
+  const auto& model = server_ctrl_.model();
+
+  // Only the *dynamic* power is controllable; the idle shares of powered
+  // cores are a physical floor no bidding can go below. Allocate the
+  // budget above that floor.
+  double batch_idle_w = 0.0;
+  double batch_dyn_demand_w = 0.0;  // full-speed dynamic power
+  double batch_urgency = 0.0;
+  std::size_t active_jobs = 0;
+  for (const auto& ref : rack_.batch_cores()) {
+    const server::CpuCore& core = rack_.core(ref);
+    batch_idle_w += model.constant_w();
+    const workload::BatchJob& job = *core.job();
+    if (job.completed()) continue;
+    batch_dyn_demand_w += model.gain_w_per_f() * core.freq_max();
+    batch_urgency += job.penalty_weight(now_s);
+    ++active_jobs;
+  }
+  if (active_jobs > 0) batch_urgency /= static_cast<double>(active_jobs);
+
+  double inter_idle_w = 0.0;
+  rack_.for_each_core(server::CoreRole::kInteractive,
+                      [&](server::CpuCore&) {
+                        inter_idle_w += model.constant_w();
+                      });
+  const double inter_dyn_w = std::max(0.0, p_inter_w - inter_idle_w);
+  const double dyn_budget_w =
+      std::max(0.0, budget_w - batch_idle_w - inter_idle_w);
+
+  // Bids after the sprinting game: urgency-weighted demand. Interactive
+  // work is latency-critical, so it bids with a higher weight; batch bids
+  // with the mean deadline urgency of its jobs.
+  const std::vector<PowerBid> bids = {
+      {/*bid=*/2.0, /*demand_w=*/inter_dyn_w},
+      {/*bid=*/std::max(batch_urgency, 0.1), /*demand_w=*/batch_dyn_demand_w},
+  };
+  const std::vector<double> alloc = allocate_power(dyn_budget_w, bids);
+
+  // Cap the interactive class if its allocation fell short: scale the
+  // interactive frequency by the dynamic-power ratio (dynamic power is
+  // ~linear in f at fixed utilization, and the cubic term only makes the
+  // cap conservative); the next period's feedback refines the cap.
+  if (alloc[0] + 1e-9 < inter_dyn_w && inter_dyn_w > 0.0) {
+    const double ratio = std::clamp(alloc[0] / inter_dyn_w, 0.0, 1.0);
+    rack_.for_each_core(server::CoreRole::kInteractive,
+                        [ratio](server::CpuCore& c) {
+                          c.set_freq(std::max(c.freq_min(),
+                                              c.freq_max() * ratio));
+                        });
+  } else {
+    server_ctrl_.pin_interactive_at_peak();
+  }
+  // The batch target is expressed in the controller's attribution (idle
+  // share included), matching the p_fb feedback of Eq. 6.
+  return batch_idle_w + alloc[1];
+}
+
+void SprintConController::step(const sim::SimClock& clock) {
+  const double now = clock.now_s();
+  const double dt = clock.dt_s();
+
+  if (!started_) {
+    // Sprint start: interactive cores jump to peak frequency.
+    server_ctrl_.pin_interactive_at_peak();
+    started_ = true;
+  }
+
+  if (outage_) {
+    // The rack is dark; nothing to control. (Cannot happen under
+    // SprintCon's own safety envelope; kept for completeness.)
+    path_.step(0.0, 0.0, dt);
+    return;
+  }
+
+  const double p_total = rack_.total_power_w();
+  const double p_inter = server_ctrl_.estimate_interactive_power_w();
+
+  // --- safety state -------------------------------------------------------
+  const SprintState state = safety_.update(path_.breaker(), path_.battery());
+
+  // --- allocator ----------------------------------------------------------
+  allocator_.observe_interactive_power(p_inter);
+  if (clock.every(config_.allocator_period_s)) {
+    allocator_.adapt(now, server_ctrl_.job_statuses(now));
+  }
+  AllocatorTargets targets = allocator_.targets(now);
+
+  // Safety overrides of the CB target.
+  p_cb_eff_w_ = targets.p_cb_w;
+  if (safety_.cb_protect() || state == SprintState::kEnded) {
+    p_cb_eff_w_ = std::min(p_cb_eff_w_, config_.cb_rated_w);
+  }
+
+  // Post-burst: the sprint is over; the rack returns to normal operation
+  // (all workloads under the rated capacity) and the charger refills the
+  // store from the headroom it frees, readying the next sprint of the day.
+  const bool post_burst = now >= config_.burst_duration_s;
+  double recharge_w = 0.0;
+  if (post_burst && config_.recharge_power_w > 0.0 &&
+      path_.battery().state_of_charge() < 1.0) {
+    recharge_w = config_.recharge_power_w;
+  }
+
+  // --- server power controller ---------------------------------------------
+  if (clock.every(config_.control_period_s)) {
+    double batch_target = std::min(targets.p_batch_w, p_cb_eff_w_);
+    // The margin absorbs model error and interactive spikes that the CB
+    // must not see when the UPS cannot (or should not) cover them.
+    constexpr double kCapMargin = 0.05;
+    if (state == SprintState::kUpsConserve || state == SprintState::kEnded) {
+      // Battery low: P_cb caps ALL workloads; classes bid for power.
+      batch_target =
+          bid_batch_budget_w(p_cb_eff_w_ * (1.0 - kCapMargin), p_inter, now);
+    } else if (post_burst) {
+      // Normal operation: everything under rated minus the charger draw.
+      const double budget =
+          std::max(0.0, (p_cb_eff_w_ - recharge_w) * (1.0 - kCapMargin));
+      batch_target = bid_batch_budget_w(budget, p_inter, now);
+    } else {
+      server_ctrl_.pin_interactive_at_peak();
+    }
+    p_batch_eff_w_ = batch_target;
+    server_ctrl_.update(p_total, batch_target, now);
+  }
+
+  // --- UPS power controller -------------------------------------------------
+  if (clock.every(config_.ups_period_s)) {
+    // In the conserve modes the workload caps drive p_total down to P_cb,
+    // so this command naturally decays toward zero discharge.
+    ups_command_w_ = config_.ups_controller_enabled
+                         ? ups_ctrl_.command_w(p_total, p_cb_eff_w_)
+                         : 0.0;
+  }
+
+  // --- physical power flows --------------------------------------------------
+  const power::PowerFlows flows =
+      path_.step(p_total, ups_command_w_, dt, recharge_w);
+  if (flows.unserved_w > 50.0) {
+    // Demand nobody could serve: the rack browns out.
+    outage_ = true;
+    rack_.set_all_powered(false);
+  }
+}
+
+}  // namespace sprintcon::core

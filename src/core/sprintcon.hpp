@@ -1,0 +1,78 @@
+// SprintCon: the top-level controllable-sprinting mechanism (Figure 4).
+//
+// A sim::Component that wires the power load allocator, the MPC server
+// power controller, the UPS power controller, and the safety monitor to a
+// rack and its power path. Each tick it:
+//   1. reads the rack's power monitor and the safety state;
+//   2. resolves the current CB target P_cb (overload schedule + safety
+//      overrides) and batch budget P_batch;
+//   3. runs the server power controller at its period (batch DVFS) and the
+//      UPS power controller at its period (discharge command);
+//   4. resolves the physical power flows through the breaker/UPS, and
+//      converts any unserved power into a rack outage.
+//
+// Degraded modes (Section IV-C): when the breaker is near tripping the
+// overload stops and the UPS absorbs the excess; when the battery is low
+// every workload is capped to P_cb and classes bid for power; when both
+// happen the sprint ends.
+#pragma once
+
+#include "core/allocator.hpp"
+#include "core/bidding.hpp"
+#include "core/config.hpp"
+#include "core/safety.hpp"
+#include "core/server_controller.hpp"
+#include "core/ups_controller.hpp"
+#include "power/power_path.hpp"
+#include "server/rack.hpp"
+#include "sim/component.hpp"
+
+namespace sprintcon::core {
+
+/// The complete SprintCon controller for one rack.
+class SprintConController : public sim::Component {
+ public:
+  /// @param config config (validated)
+  /// @param rack   controlled rack (outlives the controller)
+  /// @param path   power infrastructure (outlives the controller)
+  SprintConController(const SprintConfig& config, server::Rack& rack,
+                      power::PowerPath& path);
+
+  std::string_view name() const override { return "sprintcon"; }
+  void step(const sim::SimClock& clock) override;
+
+  // --- observability (probes / tests) ------------------------------------
+  const SprintConfig& config() const noexcept { return config_; }
+  SprintState state() const noexcept { return safety_.state(); }
+  /// Effective CB target after safety overrides.
+  double p_cb_effective_w() const noexcept { return p_cb_eff_w_; }
+  /// Current batch power budget handed to the MPC.
+  double p_batch_w() const noexcept { return p_batch_eff_w_; }
+  /// Last UPS discharge command.
+  double ups_command_w() const noexcept { return ups_command_w_; }
+  /// True once unserved demand has shut the rack down.
+  bool outage() const noexcept { return outage_; }
+
+  PowerLoadAllocator& allocator() noexcept { return allocator_; }
+  ServerPowerController& server_controller() noexcept { return server_ctrl_; }
+
+ private:
+  /// Budget split in the bidding (degraded) modes.
+  double bid_batch_budget_w(double budget_w, double p_inter_w, double now_s);
+
+  SprintConfig config_;
+  server::Rack& rack_;
+  power::PowerPath& path_;
+  PowerLoadAllocator allocator_;
+  ServerPowerController server_ctrl_;
+  UpsPowerController ups_ctrl_;
+  SafetyMonitor safety_;
+
+  double p_cb_eff_w_ = 0.0;
+  double p_batch_eff_w_ = 0.0;
+  double ups_command_w_ = 0.0;
+  bool outage_ = false;
+  bool started_ = false;
+};
+
+}  // namespace sprintcon::core

@@ -1,0 +1,46 @@
+#include "metrics/summary.hpp"
+
+#include <ostream>
+
+#include "common/table.hpp"
+#include "common/validation.hpp"
+
+namespace sprintcon::metrics {
+
+double capacity_improvement(double our_avg_freq, double their_avg_freq) {
+  SPRINTCON_EXPECTS(our_avg_freq > 0.0 && their_avg_freq > 0.0,
+                    "frequencies must be positive");
+  // Completion time scales as 1/f, so the speed ratio is f_ours/f_theirs.
+  return our_avg_freq / their_avg_freq - 1.0;
+}
+
+double storage_reduction(double our_discharged_wh,
+                         double their_discharged_wh) {
+  SPRINTCON_EXPECTS(our_discharged_wh >= 0.0 && their_discharged_wh > 0.0,
+                    "discharge amounts must be positive");
+  return 1.0 - our_discharged_wh / their_discharged_wh;
+}
+
+void print_summaries(std::ostream& out, std::span<const RunSummary> runs) {
+  Table table({"policy", "f_inter", "f_batch", "CB avg W", "UPS Wh", "DoD",
+               "trips", "outage", "deadline met", "time use"});
+  for (const RunSummary& run : runs) {
+    table.add_row({
+        run.label,
+        format_fixed(run.avg_freq_interactive, 2),
+        format_fixed(run.avg_freq_batch, 2),
+        format_fixed(run.avg_cb_power_w, 0),
+        format_fixed(run.ups_discharged_wh, 1),
+        format_percent(run.depth_of_discharge),
+        std::to_string(run.cb_trips),
+        run.outage_start_s >= 0.0
+            ? format_fixed(run.outage_start_s / 60.0, 1) + " min"
+            : "none",
+        run.all_deadlines_met ? "yes" : "NO",
+        format_fixed(run.normalized_time_use, 2),
+    });
+  }
+  out << table.to_string();
+}
+
+}  // namespace sprintcon::metrics

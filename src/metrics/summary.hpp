@@ -1,0 +1,62 @@
+// Run-level metrics: the numbers the paper's evaluation reports.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+
+namespace sprintcon::metrics {
+
+/// Everything measured over one sprint run.
+struct RunSummary {
+  std::string label;
+
+  // Frequency behaviour (Fig. 7): burst-average normalized frequencies.
+  double avg_freq_interactive = 0.0;
+  double avg_freq_batch = 0.0;
+  /// Burst-average of the rack-mean p95 request latency (M/M/1 extension;
+  /// saturated/dark cores clamp at 1000 ms).
+  double mean_p95_latency_ms = 0.0;
+
+  // Power behaviour (Fig. 6).
+  double avg_total_power_w = 0.0;
+  double avg_cb_power_w = 0.0;
+  double peak_cb_power_w = 0.0;
+  double cb_energy_wh = 0.0;
+
+  // Energy storage (Fig. 8b).
+  double ups_discharged_wh = 0.0;
+  double depth_of_discharge = 0.0;  ///< discharged / capacity, in [0, 1+]
+  double battery_cycle_life = 0.0;  ///< LFP cycles at this DoD
+  double battery_lifetime_days = 0.0;  ///< at 10 sprints/day
+  /// Profile-aware wear: Miner's-rule life fraction consumed by this
+  /// sprint, from rainflow counting of the battery SOC trace.
+  double rainflow_damage = 0.0;
+  double rainflow_lifetime_days = 0.0;
+
+  // Safety (Fig. 5).
+  int cb_trips = 0;
+  double outage_start_s = -1.0;  ///< < 0 when no outage happened
+  double unserved_energy_wh = 0.0;
+
+  // Batch deadlines (Fig. 8a).
+  double deadline_s = 0.0;
+  double worst_completion_s = 0.0;  ///< latest job completion (or run end)
+  bool all_deadlines_met = true;
+  double normalized_time_use = 0.0;  ///< worst completion / deadline
+  std::size_t jobs_completed = 0;
+  std::size_t jobs_total = 0;
+};
+
+/// Relative computing-capacity improvement of `ours` over `theirs` given
+/// burst-average frequencies (the paper's 1/f - 1 form: completion speed
+/// is proportional to frequency for the latency-critical class).
+double capacity_improvement(double our_avg_freq, double their_avg_freq);
+
+/// Relative reduction of energy-storage demand (1 - ours/theirs).
+double storage_reduction(double our_discharged_wh, double their_discharged_wh);
+
+/// Print an aligned comparison table of summaries.
+void print_summaries(std::ostream& out, std::span<const RunSummary> runs);
+
+}  // namespace sprintcon::metrics

@@ -1,0 +1,58 @@
+#include "power/battery.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/units.hpp"
+#include "common/validation.hpp"
+
+namespace sprintcon::power {
+
+double lfp_cycle_life(double dod) {
+  if (dod <= 0.0) return 200000.0;
+  // Power-law fit through the paper's quoted operating points:
+  // 17% DoD -> >40,000 cycles, 31% DoD -> <10,000 cycles.
+  const double cycles = 630.0 * std::pow(dod, -2.35);
+  return std::clamp(cycles, 500.0, 200000.0);
+}
+
+double lfp_lifetime_days(double dod_per_sprint, double sprints_per_day) {
+  constexpr double kShelfLifeDays = 10.0 * 365.0;  // LFP chemical lifetime
+  if (sprints_per_day <= 0.0 || dod_per_sprint <= 0.0) return kShelfLifeDays;
+  const double days = lfp_cycle_life(dod_per_sprint) / sprints_per_day;
+  return std::min(days, kShelfLifeDays);
+}
+
+UpsBattery::UpsBattery(double capacity_wh, double max_discharge_w)
+    : capacity_wh_(capacity_wh),
+      max_discharge_w_(max_discharge_w),
+      charge_wh_(capacity_wh) {
+  SPRINTCON_EXPECTS(capacity_wh > 0.0, "battery capacity must be positive");
+  SPRINTCON_EXPECTS(max_discharge_w > 0.0, "discharge limit must be positive");
+}
+
+double UpsBattery::discharge(double power_w, double dt_s) {
+  SPRINTCON_EXPECTS(power_w >= 0.0, "discharge power must be non-negative");
+  SPRINTCON_EXPECTS(dt_s > 0.0, "dt must be positive");
+  const double limited = std::min(power_w, max_discharge_w_);
+  // Saturate at the remaining energy over this interval.
+  const double max_by_energy = units::wh_to_joules(charge_wh_) / dt_s;
+  const double actual = std::min(limited, max_by_energy);
+  const double energy_wh = units::joules_to_wh(actual * dt_s);
+  charge_wh_ = std::max(0.0, charge_wh_ - energy_wh);
+  total_discharged_wh_ += energy_wh;
+  return actual;
+}
+
+double UpsBattery::recharge(double power_w, double dt_s) {
+  SPRINTCON_EXPECTS(power_w >= 0.0, "recharge power must be non-negative");
+  SPRINTCON_EXPECTS(dt_s > 0.0, "dt must be positive");
+  const double room_wh = capacity_wh_ - charge_wh_;
+  const double max_by_room = units::wh_to_joules(room_wh) / dt_s;
+  const double actual = std::min(power_w, max_by_room);
+  charge_wh_ = std::min(capacity_wh_, charge_wh_ + units::joules_to_wh(actual * dt_s));
+  return actual;
+}
+
+}  // namespace sprintcon::power

@@ -1,0 +1,70 @@
+#include "power/circuit_breaker.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/validation.hpp"
+
+namespace sprintcon::power {
+
+namespace {
+// An open breaker re-closes once its thermal state has decayed to 5% of
+// the trip threshold (the end of the "recovery" window).
+constexpr double kRecloseFraction = 0.05;
+}  // namespace
+
+CircuitBreaker::CircuitBreaker(double rated_power_w, TripCurve curve)
+    : rated_power_w_(rated_power_w), curve_(curve) {
+  SPRINTCON_EXPECTS(rated_power_w > 0.0, "rated power must be positive");
+}
+
+double CircuitBreaker::deliver(double power_w, double dt_s) {
+  SPRINTCON_EXPECTS(power_w >= 0.0, "delivered power must be non-negative");
+  SPRINTCON_EXPECTS(dt_s > 0.0, "dt must be positive");
+
+  if (open_) {
+    // Cooling while open; re-close when recovered.
+    theta_ *= std::exp(-dt_s / curve_.cooling_tau_s());
+    if (ready_to_close()) open_ = false;
+    if (open_) return 0.0;
+    // Fall through: deliver in the same tick it re-closes, so a recovered
+    // breaker picks the load back up without a dead tick.
+  }
+
+  const double overload = power_w / rated_power_w_;
+  if (overload > 1.0) {
+    theta_ += curve_.heating_rate(overload) * dt_s;
+  } else {
+    theta_ *= std::exp(-dt_s / curve_.cooling_tau_s());
+  }
+
+  if (theta_ >= curve_.trip_threshold()) {
+    open_ = true;
+    ++trip_count_;
+    return 0.0;  // trips during this interval; conservatively deliver none
+  }
+  return power_w;
+}
+
+double CircuitBreaker::thermal_stress() const noexcept {
+  return std::clamp(theta_ / curve_.trip_threshold(), 0.0, 1.0);
+}
+
+bool CircuitBreaker::near_trip(double margin) const noexcept {
+  return thermal_stress() >= margin;
+}
+
+double CircuitBreaker::time_to_trip_s(double power_w) const {
+  const double overload = power_w / rated_power_w_;
+  if (overload <= 1.0) return std::numeric_limits<double>::infinity();
+  const double headroom = curve_.trip_threshold() - theta_;
+  if (headroom <= 0.0) return 0.0;
+  return headroom / curve_.heating_rate(overload);
+}
+
+bool CircuitBreaker::ready_to_close() const noexcept {
+  return theta_ <= kRecloseFraction * curve_.trip_threshold();
+}
+
+}  // namespace sprintcon::power

@@ -1,0 +1,58 @@
+// Circuit breaker with thermal trip state and recovery.
+//
+// The breaker accumulates thermal stress while delivering above its rated
+// power (TripCurve), trips when the stress crosses the threshold, then
+// stays open until the thermal state has decayed enough to re-close.
+// SprintCon's safety monitor watches `near_trip()` to stop overloading
+// *before* the trip ever happens; the SGCT baseline demonstrates what
+// happens when nobody watches.
+#pragma once
+
+#include "power/trip_curve.hpp"
+
+namespace sprintcon::power {
+
+/// One breaker protecting the rack's primary feed.
+class CircuitBreaker {
+ public:
+  /// @param rated_power_w  rated (continuous) capacity
+  /// @param curve          trip characteristic
+  CircuitBreaker(double rated_power_w, TripCurve curve);
+
+  double rated_power_w() const noexcept { return rated_power_w_; }
+  const TripCurve& curve() const noexcept { return curve_; }
+
+  /// Deliver `power_w` for dt seconds. Updates the thermal state and the
+  /// trip/recovery logic. Returns the power actually delivered: equal to
+  /// the request while closed, 0 when open.
+  double deliver(double power_w, double dt_s);
+
+  /// True while the breaker is open (tripped and not yet re-closed).
+  bool open() const noexcept { return open_; }
+  /// Total number of trips so far.
+  int trip_count() const noexcept { return trip_count_; }
+
+  /// Normalized thermal stress in [0, 1]; 1 = trip threshold.
+  double thermal_stress() const noexcept;
+
+  /// True when the stress exceeds `margin` of the trip threshold — the
+  /// "close to tripping" signal SprintCon's safety monitor acts on.
+  bool near_trip(double margin = 0.9) const noexcept;
+
+  /// Estimated remaining seconds of delivery at a hypothetical constant
+  /// power before tripping (infinity if at or below rated).
+  double time_to_trip_s(double power_w) const;
+
+  /// True when the breaker, if open, has cooled enough to re-close; the
+  /// deliver() loop re-closes automatically at that point.
+  bool ready_to_close() const noexcept;
+
+ private:
+  double rated_power_w_;
+  TripCurve curve_;
+  double theta_ = 0.0;
+  bool open_ = false;
+  int trip_count_ = 0;
+};
+
+}  // namespace sprintcon::power

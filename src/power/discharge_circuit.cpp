@@ -1,0 +1,40 @@
+#include "power/discharge_circuit.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/validation.hpp"
+
+namespace sprintcon::power {
+
+DischargeCircuit::DischargeCircuit(double full_scale_w, int duty_steps,
+                                   double efficiency)
+    : full_scale_w_(full_scale_w),
+      duty_steps_(duty_steps),
+      efficiency_(efficiency) {
+  SPRINTCON_EXPECTS(full_scale_w > 0.0, "full-scale power must be positive");
+  SPRINTCON_EXPECTS(duty_steps >= 2, "need at least 2 duty levels");
+  SPRINTCON_EXPECTS(efficiency > 0.0 && efficiency <= 1.0,
+                    "efficiency must be in (0, 1]");
+}
+
+double DischargeCircuit::set_target_power(double power_w) {
+  SPRINTCON_EXPECTS(power_w >= 0.0, "target power must be non-negative");
+  const double raw_duty = std::clamp(power_w / full_scale_w_, 0.0, 1.0);
+  // Quantize to the duty grid, rounding UP: the discharge controller must
+  // deliver at least the commanded power, otherwise the residual lands on
+  // the circuit breaker (or, with the breaker open, goes unserved).
+  const double steps = static_cast<double>(duty_steps_);
+  duty_ = std::min(std::ceil(raw_duty * steps) / steps, 1.0);
+  return setpoint_w();
+}
+
+double DischargeCircuit::transfer(EnergyStore& store, double dt_s) {
+  const double want_delivered = setpoint_w();
+  if (want_delivered <= 0.0) return 0.0;
+  const double want_from_battery = want_delivered / efficiency_;
+  const double drawn = store.discharge(want_from_battery, dt_s);
+  return drawn * efficiency_;
+}
+
+}  // namespace sprintcon::power

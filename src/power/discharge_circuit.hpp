@@ -1,0 +1,48 @@
+// Duty-cycled UPS charge/discharge circuit (after Zheng et al. [24]).
+//
+// The paper's UPS power controller realizes a commanded discharge power by
+// duty-cycling the switches of a charge/discharge circuit: a duty ratio of
+// x% discharges x% of the circuit's full-scale power. We model the
+// quantization of the duty ratio and a conversion efficiency — the
+// controller asks for watts, the circuit translates that to the nearest
+// representable duty step, and the battery pays the inefficiency.
+#pragma once
+
+#include "power/energy_store.hpp"
+
+namespace sprintcon::power {
+
+/// Switch-level model of the UPS discharge path.
+class DischargeCircuit {
+ public:
+  /// @param full_scale_w   delivered power at 100% duty
+  /// @param duty_steps     number of representable duty levels (e.g. 200
+  ///                       for 0.5% resolution)
+  /// @param efficiency     delivered power / battery draw (0 < eff <= 1)
+  DischargeCircuit(double full_scale_w, int duty_steps, double efficiency);
+
+  double full_scale_w() const noexcept { return full_scale_w_; }
+  double efficiency() const noexcept { return efficiency_; }
+
+  /// Command a delivered power; the circuit quantizes it to the duty grid.
+  /// Returns the quantized delivered-power setpoint.
+  double set_target_power(double power_w);
+
+  /// Current duty ratio in [0, 1].
+  double duty() const noexcept { return duty_; }
+  /// Delivered power setpoint implied by the current duty.
+  double setpoint_w() const noexcept { return duty_ * full_scale_w_; }
+
+  /// Run the circuit for dt against an energy store: draws
+  /// setpoint/efficiency from the store (saturating at its limits) and
+  /// returns the power actually delivered to the load.
+  double transfer(EnergyStore& store, double dt_s);
+
+ private:
+  double full_scale_w_;
+  int duty_steps_;
+  double efficiency_;
+  double duty_ = 0.0;
+};
+
+}  // namespace sprintcon::power

@@ -1,0 +1,88 @@
+#include "power/power_path.hpp"
+
+#include <algorithm>
+
+#include "common/validation.hpp"
+
+namespace sprintcon::power {
+
+PowerPath::PowerPath(CircuitBreaker breaker, UpsBattery battery,
+                     DischargeCircuit circuit)
+    : PowerPath(std::move(breaker), std::make_unique<UpsBattery>(battery),
+                std::move(circuit)) {}
+
+PowerPath::PowerPath(CircuitBreaker breaker,
+                     std::unique_ptr<EnergyStore> store,
+                     DischargeCircuit circuit)
+    : breaker_(std::move(breaker)),
+      store_(std::move(store)),
+      circuit_(std::move(circuit)) {
+  SPRINTCON_EXPECTS(store_ != nullptr, "power path needs an energy store");
+}
+
+PowerFlows PowerPath::step(double demand_w, double ups_command_w, double dt_s,
+                           double recharge_command_w) {
+  SPRINTCON_EXPECTS(demand_w >= 0.0, "demand must be non-negative");
+  SPRINTCON_EXPECTS(ups_command_w >= 0.0, "UPS command must be non-negative");
+  SPRINTCON_EXPECTS(recharge_command_w >= 0.0,
+                    "recharge command must be non-negative");
+
+  PowerFlows flows;
+  flows.demand_w = demand_w;
+
+  if (breaker_.open()) {
+    // Inline UPS carries everything it can while the breaker recovers.
+    // The duty grid rounds up, so cap delivery at the demand (the
+    // controller modulates the duty within the interval).
+    circuit_.set_target_power(demand_w);
+    flows.ups_w = std::min(circuit_.transfer(*store_, dt_s), demand_w);
+    // Keep the breaker's cooling clock running (delivers nothing).
+    flows.cb_w = breaker_.deliver(0.0, dt_s);
+    if (!breaker_.open() && flows.ups_w < demand_w) {
+      // Re-closed within this tick: the breaker picks up the shortfall.
+      flows.cb_w = breaker_.deliver(demand_w - flows.ups_w, dt_s);
+    }
+    flows.unserved_w = std::max(0.0, demand_w - flows.ups_w - flows.cb_w);
+    last_ = flows;
+    return flows;
+  }
+
+  // Breaker closed: honor the controller's UPS discharge command, capped
+  // at the demand (the UPS never pushes power upstream in this model).
+  circuit_.set_target_power(std::min(ups_command_w, demand_w));
+  flows.ups_w = std::min(circuit_.transfer(*store_, dt_s), demand_w);
+
+  const double cb_request = std::max(0.0, demand_w - flows.ups_w);
+
+  // Between sprints the controller may divert leftover *rated* capacity
+  // into recharging the store; recharging never overloads the breaker and
+  // never happens while the store is simultaneously discharging.
+  double charge_draw = 0.0;
+  if (recharge_command_w > 0.0 && flows.ups_w <= 0.0) {
+    const double headroom =
+        std::max(0.0, breaker_.rated_power_w() - cb_request);
+    charge_draw = std::min(recharge_command_w, headroom);
+  }
+
+  const double delivered = breaker_.deliver(cb_request + charge_draw, dt_s);
+  if (!breaker_.open()) {
+    flows.cb_w = delivered - charge_draw;
+    if (charge_draw > 0.0) {
+      // The charger pays the conversion loss on the way in.
+      flows.charge_w = charge_draw;
+      store_->recharge(charge_draw * circuit_.efficiency(), dt_s);
+    }
+  } else {
+    // Tripped during this interval; the UPS attempts to absorb the load
+    // that the breaker dropped (the charger backs off entirely).
+    circuit_.set_target_power(cb_request);
+    flows.ups_w += circuit_.transfer(*store_, dt_s);
+    flows.cb_w = 0.0;
+  }
+
+  flows.unserved_w = std::max(0.0, demand_w - flows.ups_w - flows.cb_w);
+  last_ = flows;
+  return flows;
+}
+
+}  // namespace sprintcon::power

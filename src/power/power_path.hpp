@@ -1,0 +1,73 @@
+// The rack's power path: primary feed behind a circuit breaker, plus a
+// battery-backed UPS in parallel.
+//
+// Per tick the path resolves who supplies the rack's demand:
+//  * CB closed — the UPS delivers its commanded discharge (the knob
+//    SprintCon's UPS power controller turns) and the breaker carries the
+//    remainder, heating up if that exceeds its rating.
+//  * CB open   — the UPS automatically carries the whole load (that is
+//    what an inline UPS does); whatever it cannot supply is unserved and
+//    the scenario layer turns unserved power into a server outage
+//    (Fig. 5's collapse).
+#pragma once
+
+#include <memory>
+
+#include "power/battery.hpp"
+#include "power/circuit_breaker.hpp"
+#include "power/discharge_circuit.hpp"
+#include "power/energy_store.hpp"
+
+namespace sprintcon::power {
+
+/// Resolved power flows for one tick.
+struct PowerFlows {
+  double demand_w = 0.0;    ///< rack demand
+  double cb_w = 0.0;        ///< delivered through the breaker
+  double ups_w = 0.0;       ///< delivered from the battery (after losses)
+  double unserved_w = 0.0;  ///< demand nobody could supply
+  double charge_w = 0.0;    ///< CB power diverted into recharging the store
+};
+
+/// Owns the breaker, energy store, and discharge circuit.
+class PowerPath {
+ public:
+  /// Battery-backed path (the paper's configuration).
+  PowerPath(CircuitBreaker breaker, UpsBattery battery,
+            DischargeCircuit circuit);
+
+  /// Path backed by any energy store (e.g. a HybridStore).
+  PowerPath(CircuitBreaker breaker, std::unique_ptr<EnergyStore> store,
+            DischargeCircuit circuit);
+
+  CircuitBreaker& breaker() noexcept { return breaker_; }
+  const CircuitBreaker& breaker() const noexcept { return breaker_; }
+  /// The energy store behind the UPS (battery or hybrid).
+  EnergyStore& battery() noexcept { return *store_; }
+  const EnergyStore& battery() const noexcept { return *store_; }
+  DischargeCircuit& circuit() noexcept { return circuit_; }
+  const DischargeCircuit& circuit() const noexcept { return circuit_; }
+
+  /// Resolve one tick.
+  /// @param demand_w        rack power demand this interval
+  /// @param ups_command_w   discharge power commanded by the UPS power
+  ///                        controller (ignored while the breaker is open)
+  /// @param recharge_command_w  power the controller wants to divert into
+  ///                        recharging the store (between sprints). Only
+  ///                        honored while the breaker is closed and only
+  ///                        up to the rated capacity left over by the
+  ///                        demand — recharging never overloads the CB.
+  PowerFlows step(double demand_w, double ups_command_w, double dt_s,
+                  double recharge_command_w = 0.0);
+
+  /// Flows of the last completed tick.
+  const PowerFlows& last() const noexcept { return last_; }
+
+ private:
+  CircuitBreaker breaker_;
+  std::unique_ptr<EnergyStore> store_;
+  DischargeCircuit circuit_;
+  PowerFlows last_;
+};
+
+}  // namespace sprintcon::power

@@ -1,0 +1,46 @@
+// Supercapacitor energy storage.
+//
+// Compared to the battery bank, a supercapacitor stores little energy but
+// sources/sinks it at very high power with no cycle-wear penalty — the
+// complementary half of the hybrid design in Zheng et al. [24]. The model
+// adds the one non-ideality that matters at sprint time scales: a
+// self-discharge leak (a slow exponential decay of the stored energy).
+#pragma once
+
+#include "power/energy_store.hpp"
+
+namespace sprintcon::power {
+
+/// A supercapacitor bank.
+class Supercapacitor final : public EnergyStore {
+ public:
+  /// @param capacity_wh       usable energy (typically a few Wh per rack)
+  /// @param max_discharge_w   power limit (typically >> battery's)
+  /// @param leak_tau_s        self-discharge time constant (seconds; the
+  ///                          charge decays as e^{-t/tau}); <= 0 disables
+  Supercapacitor(double capacity_wh, double max_discharge_w,
+                 double leak_tau_s = 4.0 * 3600.0);
+
+  double capacity_wh() const noexcept override { return capacity_wh_; }
+  double charge_wh() const noexcept override { return charge_wh_; }
+  double max_discharge_w() const noexcept override { return max_discharge_w_; }
+  double total_discharged_wh() const noexcept override {
+    return total_discharged_wh_;
+  }
+
+  double discharge(double power_w, double dt_s) override;
+  double recharge(double power_w, double dt_s) override;
+
+  /// Advance the self-discharge leak only (no transfer). Discharge and
+  /// recharge apply it implicitly.
+  void leak(double dt_s);
+
+ private:
+  double capacity_wh_;
+  double max_discharge_w_;
+  double leak_tau_s_;
+  double charge_wh_;
+  double total_discharged_wh_ = 0.0;
+};
+
+}  // namespace sprintcon::power

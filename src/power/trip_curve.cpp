@@ -1,0 +1,37 @@
+#include "power/trip_curve.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/validation.hpp"
+
+namespace sprintcon::power {
+
+TripCurve::TripCurve(double reference_overload, double reference_trip_s,
+                     double recovery_s)
+    : recovery_s_(recovery_s) {
+  SPRINTCON_EXPECTS(reference_overload > 1.0,
+                    "reference overload must exceed 1");
+  SPRINTCON_EXPECTS(reference_trip_s > 0.0, "reference trip time must be > 0");
+  SPRINTCON_EXPECTS(recovery_s > 0.0, "recovery time must be > 0");
+  theta_trip_ =
+      (reference_overload * reference_overload - 1.0) * reference_trip_s;
+  // Recovery sheds ~95% of the thermal state: theta(t) = theta e^{-t/tau},
+  // e^{-recovery/tau} = 1/20 -> tau = recovery / ln 20.
+  cooling_tau_s_ = recovery_s / std::log(20.0);
+}
+
+TripCurve TripCurve::bulletin_1489a() { return TripCurve(1.25, 170.0, 300.0); }
+
+double TripCurve::trip_time_s(double overload) const {
+  SPRINTCON_EXPECTS(overload >= 0.0, "overload must be non-negative");
+  if (overload <= 1.0) return std::numeric_limits<double>::infinity();
+  return theta_trip_ / (overload * overload - 1.0);
+}
+
+double TripCurve::heating_rate(double overload) const {
+  if (overload <= 1.0) return 0.0;
+  return overload * overload - 1.0;
+}
+
+}  // namespace sprintcon::power

@@ -1,0 +1,63 @@
+// Thermal-magnetic circuit breaker trip characteristic.
+//
+// Figure 2 of the paper shows the Bulletin 1489-A inverse-time curve: trip
+// time is a nonlinear, decreasing function of the overload degree. We model
+// the standard thermal element: the breaker integrates I^2 heating above
+// the rated load,
+//
+//     d(theta)/dt = overload^2 - 1        while overload > 1
+//     d(theta)/dt = -theta / tau_cool     while overload <= 1
+//
+// and trips when theta reaches a threshold. This yields the closed form
+//
+//     t_trip(overload) = theta_trip / (overload^2 - 1),
+//
+// an inverse-time curve of the same family as the 1489-A datasheet. The
+// default calibration puts the 1.25x trip point at 170 s, so the paper's
+// operating choice — 150 s overload windows — ends each window at ~88% of
+// the trip threshold ("close to tripping"), from which the breaker
+// recovers in at most 300 s, exactly the margins Section VI-A describes.
+// An *uncontrolled* sprint that lets the load drift a few percent above
+// the 1.25x budget trips in roughly 150 s, reproducing Figure 5.
+//
+// Power stands in for current throughout (constant supply voltage), so
+// "overload degree" = delivered power / rated power, exactly as the paper
+// defines it.
+#pragma once
+
+namespace sprintcon::power {
+
+/// Analytic trip-time curve + thermal parameters for CircuitBreaker.
+class TripCurve {
+ public:
+  /// Calibrate from one point of the datasheet curve.
+  /// @param reference_overload   e.g. 1.25
+  /// @param reference_trip_s     e.g. 150 s
+  /// @param recovery_s           time to shed ~95% of the thermal state
+  ///                             once load returns below rated (300 s)
+  TripCurve(double reference_overload, double reference_trip_s,
+            double recovery_s);
+
+  /// The paper's calibration (1.25x -> 150 s, 300 s recovery).
+  static TripCurve bulletin_1489a();
+
+  /// Thermal threshold theta_trip.
+  double trip_threshold() const noexcept { return theta_trip_; }
+  /// Cooling time constant tau (recovery_s / ln 20).
+  double cooling_tau_s() const noexcept { return cooling_tau_s_; }
+  double recovery_s() const noexcept { return recovery_s_; }
+
+  /// Time to trip from cold at a constant overload degree (> 1).
+  /// Returns +infinity for overload <= 1.
+  double trip_time_s(double overload) const;
+
+  /// Heating rate d(theta)/dt at an overload degree (0 when <= 1).
+  double heating_rate(double overload) const;
+
+ private:
+  double theta_trip_;
+  double cooling_tau_s_;
+  double recovery_s_;
+};
+
+}  // namespace sprintcon::power

@@ -1,0 +1,84 @@
+#include "power/wear.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/validation.hpp"
+#include "power/battery.hpp"
+
+namespace sprintcon::power {
+
+std::vector<double> turning_points(const std::vector<double>& series) {
+  std::vector<double> points;
+  if (series.empty()) return points;
+  points.push_back(series.front());
+  for (std::size_t i = 1; i + 1 < series.size(); ++i) {
+    const double prev = points.back();
+    const double cur = series[i];
+    const double next = series[i + 1];
+    if (cur == prev) continue;  // plateau
+    // Keep cur only if the direction changes at i.
+    const bool rising_in = cur > prev;
+    const bool rising_out = next > cur;
+    if (next == cur) continue;  // defer until the plateau ends
+    if (rising_in != rising_out) points.push_back(cur);
+  }
+  if (series.size() > 1 && series.back() != points.back())
+    points.push_back(series.back());
+  return points;
+}
+
+std::vector<RainflowCycle> rainflow_cycles(const std::vector<double>& series) {
+  const std::vector<double> pts = turning_points(series);
+  std::vector<RainflowCycle> cycles;
+  std::vector<double> stack;
+
+  for (double p : pts) {
+    stack.push_back(p);
+    while (stack.size() >= 3) {
+      const std::size_t n = stack.size();
+      const double x = std::abs(stack[n - 1] - stack[n - 2]);
+      const double y = std::abs(stack[n - 2] - stack[n - 3]);
+      if (x < y) break;
+      if (stack.size() == 3) {
+        // Range Y contains the series start: count as a half cycle and
+        // discard the starting point.
+        if (y > 0.0) cycles.push_back({y, 0.5});
+        stack.erase(stack.begin());
+      } else {
+        // Interior closed cycle of range Y.
+        if (y > 0.0) cycles.push_back({y, 1.0});
+        stack.erase(stack.end() - 3, stack.end() - 1);
+      }
+    }
+  }
+  // Whatever remains on the stack forms half cycles.
+  for (std::size_t i = 0; i + 1 < stack.size(); ++i) {
+    const double depth = std::abs(stack[i + 1] - stack[i]);
+    if (depth > 0.0) cycles.push_back({depth, 0.5});
+  }
+  return cycles;
+}
+
+double rainflow_damage(const std::vector<double>& soc_series) {
+  for (double v : soc_series) {
+    SPRINTCON_EXPECTS(v >= -1e-9 && v <= 1.0 + 1e-9,
+                      "SOC values must be in [0, 1]");
+  }
+  double damage = 0.0;
+  for (const RainflowCycle& cycle : rainflow_cycles(soc_series)) {
+    damage += cycle.count / lfp_cycle_life(cycle.depth);
+  }
+  return damage;
+}
+
+double rainflow_lifetime_days(double damage_per_sprint,
+                              double sprints_per_day) {
+  constexpr double kShelfLifeDays = 10.0 * 365.0;
+  if (damage_per_sprint <= 0.0 || sprints_per_day <= 0.0)
+    return kShelfLifeDays;
+  return std::min(kShelfLifeDays,
+                  1.0 / (damage_per_sprint * sprints_per_day));
+}
+
+}  // namespace sprintcon::power

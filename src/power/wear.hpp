@@ -1,0 +1,43 @@
+// Battery wear analysis via rainflow cycle counting.
+//
+// The simple DoD metric of Figure 8(b) treats a sprint as one discharge
+// cycle of its total depth. Real battery aging depends on the *profile*:
+// many shallow ripples wear less than one deep excursion of the same total
+// energy. The standard way to quantify this is rainflow counting (ASTM
+// E1049): decompose the state-of-charge series into closed charge/
+// discharge cycles with individual depths, then accumulate fractional life
+// consumption with Miner's rule against the depth-dependent cycle-life
+// curve. This module implements both and is what the hybrid-storage
+// analysis uses to show *why* smoothing the battery profile extends life.
+#pragma once
+
+#include <vector>
+
+namespace sprintcon::power {
+
+/// One counted cycle: a depth (in the series' units) and a count that is
+/// 0.5 for half cycles or 1.0 for full cycles.
+struct RainflowCycle {
+  double depth = 0.0;
+  double count = 1.0;
+};
+
+/// Extract the turning points (alternating local extrema) of a series;
+/// endpoints are always included. Plateaus are collapsed.
+std::vector<double> turning_points(const std::vector<double>& series);
+
+/// Rainflow-count a series (ASTM E1049 three-point method). Depths are in
+/// the same units as the series; zero-depth cycles are dropped.
+std::vector<RainflowCycle> rainflow_cycles(const std::vector<double>& series);
+
+/// Miner's-rule fractional life consumption of an SOC series (values in
+/// [0, 1]): sum over counted cycles of count / lfp_cycle_life(depth).
+/// 1.0 means the battery is worn out.
+double rainflow_damage(const std::vector<double>& soc_series);
+
+/// Convenience: battery lifetime in days given the per-sprint damage and
+/// sprint cadence, capped at the LFP shelf life.
+double rainflow_lifetime_days(double damage_per_sprint,
+                              double sprints_per_day);
+
+}  // namespace sprintcon::power

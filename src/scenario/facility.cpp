@@ -1,0 +1,81 @@
+#include "scenario/facility.hpp"
+
+#include "common/validation.hpp"
+
+namespace sprintcon::scenario {
+
+void FacilityConfig::validate() const {
+  SPRINTCON_EXPECTS(num_racks > 0, "facility needs at least one rack");
+  rack.validate();
+}
+
+Facility::Facility(const FacilityConfig& config) : config_(config) {
+  config.validate();
+  const double cycle = config.rack.sprint.cb_overload_duration_s +
+                       config.rack.sprint.cb_recovery_duration_s;
+  rigs_.reserve(config.num_racks);
+  for (std::size_t r = 0; r < config.num_racks; ++r) {
+    RigConfig rack_cfg = config.rack;
+    rack_cfg.seed = config.rack.seed + r;  // distinct workloads per rack
+    if (config.staggered) {
+      rack_cfg.sprint.schedule_offset_s =
+          cycle * static_cast<double>(r) /
+          static_cast<double>(config.num_racks);
+    }
+    rigs_.push_back(std::make_unique<Rig>(rack_cfg));
+  }
+}
+
+void Facility::run() {
+  if (ran_) return;
+  for (auto& rig : rigs_) rig->run();
+  ran_ = true;
+}
+
+Rig& Facility::rig(std::size_t i) {
+  SPRINTCON_EXPECTS(i < rigs_.size(), "rack index out of range");
+  return *rigs_[i];
+}
+
+const Rig& Facility::rig(std::size_t i) const {
+  SPRINTCON_EXPECTS(i < rigs_.size(), "rack index out of range");
+  return *rigs_[i];
+}
+
+TimeSeries Facility::sum_channel(const char* channel,
+                                 const char* name) const {
+  SPRINTCON_ENSURES(ran_, "run() the facility before aggregating");
+  const TimeSeries& first = rigs_.front()->recorder().series(channel);
+  TimeSeries sum(name, first.dt_s(), first.start_s());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    double total = 0.0;
+    for (const auto& rig : rigs_) {
+      const TimeSeries& s = rig->recorder().series(channel);
+      total += s[std::min(i, s.size() - 1)];
+    }
+    sum.push(total);
+  }
+  return sum;
+}
+
+TimeSeries Facility::facility_cb_power() const {
+  return sum_channel("cb_power_w", "facility_cb_power_w");
+}
+
+TimeSeries Facility::facility_total_power() const {
+  return sum_channel("total_power_w", "facility_total_power_w");
+}
+
+double Facility::cb_peak_to_mean() const {
+  const TimeSeries series = facility_cb_power();
+  return series.max() / series.mean();
+}
+
+std::vector<metrics::RunSummary> Facility::summaries() const {
+  std::vector<metrics::RunSummary> out;
+  out.reserve(rigs_.size());
+  for (const auto& rig : rigs_) out.push_back(rig->summary());
+  return out;
+}
+
+}  // namespace sprintcon::scenario

@@ -1,0 +1,62 @@
+// Facility: several sprinting racks behind one feed.
+//
+// The paper notes that sprinting power "can consume the headroom in the
+// data-center level power budget". A facility hosting K SprintCon racks
+// controls that headroom by staggering the racks' CB overload windows:
+// each rack keeps its own safety envelope, but the *aggregate* draw stays
+// nearly flat instead of inheriting K synchronized square waves. This is
+// the library form of the `ablation_stagger` experiment.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "common/time_series.hpp"
+#include "scenario/rig.hpp"
+
+namespace sprintcon::scenario {
+
+/// Facility-level configuration.
+struct FacilityConfig {
+  std::size_t num_racks = 4;
+  /// Stagger the racks' overload windows by cycle/num_racks each.
+  bool staggered = true;
+  /// Per-rack configuration template; each rack gets seed + rack index.
+  RigConfig rack;
+
+  void validate() const;
+};
+
+/// Owns and runs one rig per rack; aggregates facility-level metrics.
+class Facility {
+ public:
+  explicit Facility(const FacilityConfig& config);
+
+  /// Run every rack's sprint (idempotent).
+  void run();
+
+  std::size_t num_racks() const noexcept { return rigs_.size(); }
+  Rig& rig(std::size_t i);
+  const Rig& rig(std::size_t i) const;
+
+  /// Sum of the racks' CB power, sample by sample.
+  TimeSeries facility_cb_power() const;
+  /// Sum of the racks' total power.
+  TimeSeries facility_total_power() const;
+
+  /// Facility peak-to-mean ratio of the CB draw (1.0 = perfectly flat).
+  double cb_peak_to_mean() const;
+
+  /// Per-rack summaries.
+  std::vector<metrics::RunSummary> summaries() const;
+
+ private:
+  TimeSeries sum_channel(const char* channel, const char* name) const;
+
+  FacilityConfig config_;
+  std::vector<std::unique_ptr<Rig>> rigs_;
+  bool ran_ = false;
+};
+
+}  // namespace sprintcon::scenario

@@ -1,0 +1,295 @@
+#include "scenario/rig.hpp"
+
+#include <algorithm>
+
+#include "common/validation.hpp"
+#include "power/wear.hpp"
+#include "server/platform.hpp"
+#include "workload/batch_profile.hpp"
+#include "workload/queueing.hpp"
+
+namespace sprintcon::scenario {
+
+const char* to_string(Policy policy) noexcept {
+  switch (policy) {
+    case Policy::kSprintCon: return "SprintCon";
+    case Policy::kSgct: return "SGCT";
+    case Policy::kSgctV1: return "SGCT-V1";
+    case Policy::kSgctV2: return "SGCT-V2";
+    case Policy::kPowerCap: return "PowerCap";
+  }
+  return "unknown";
+}
+
+RigConfig::RigConfig() : sprint(core::paper_config()) {}
+
+void RigConfig::validate() const {
+  SPRINTCON_EXPECTS(num_servers > 0, "need at least one server");
+  SPRINTCON_EXPECTS(dt_s > 0.0, "dt must be positive");
+  SPRINTCON_EXPECTS(duration_s > 0.0, "duration must be positive");
+  SPRINTCON_EXPECTS(batch_deadline_s > 0.0, "deadline must be positive");
+  SPRINTCON_EXPECTS(batch_work_scale > 0.0, "work scale must be positive");
+  SPRINTCON_EXPECTS(ups_capacity_wh > 0.0, "UPS capacity must be positive");
+  sprint.validate();
+}
+
+Rig::Rig(const RigConfig& config) : config_(config) {
+  config.validate();
+
+  const server::PlatformSpec spec = server::paper_platform();
+  SPRINTCON_EXPECTS(
+      config.interactive_cores_per_server <= spec.cores_per_server,
+      "more interactive cores than the server has");
+
+  Rng master(config.seed);
+  const auto spec_profiles = workload::spec2006_profiles();
+
+  // --- build the rack -------------------------------------------------------
+  std::vector<server::Server> servers;
+  servers.reserve(config.num_servers);
+  std::size_t batch_index = 0;  // cycles through the SPEC profiles
+  for (std::size_t s = 0; s < config.num_servers; ++s) {
+    std::vector<server::CpuCore> cores;
+    cores.reserve(spec.cores_per_server);
+    for (std::size_t c = 0; c < spec.cores_per_server; ++c) {
+      const bool interactive_core =
+          config.dedicated_servers
+              ? s < (config.num_servers + 1) / 2
+              : c < config.interactive_cores_per_server;
+      if (interactive_core) {
+        // Interactive core: per-server phase offset decorrelates the slow
+        // swell across servers, matching rack-level aggregate behaviour.
+        const double phase =
+            static_cast<double>(s) * 13.0 + static_cast<double>(c) * 3.0;
+        if (config.use_request_queues) {
+          workload::RequestQueueConfig queue;
+          queue.offered_load = config.interactive;
+          auto source = std::make_unique<workload::RequestQueueSource>(
+              queue, master.split(), phase);
+          queues_.push_back(source.get());
+          cores.emplace_back(spec.freq_min, spec.freq_max,
+                             std::move(source));
+        } else {
+          cores.emplace_back(
+              spec.freq_min, spec.freq_max,
+              workload::InteractiveTraceGenerator(config.interactive,
+                                                  master.split(), phase));
+        }
+      } else {
+        const auto& profile =
+            spec_profiles[batch_index++ % spec_profiles.size()];
+        auto job = std::make_unique<workload::BatchJob>(
+            profile, config.batch_deadline_s,
+            profile.nominal_work_s * config.batch_work_scale,
+            config.completion, master.split());
+        cores.emplace_back(spec.freq_min, spec.freq_max, std::move(job));
+      }
+    }
+    servers.emplace_back(spec, std::move(cores), master.split());
+  }
+  rack_ = std::make_unique<server::Rack>(std::move(servers));
+  for (server::Server& s : rack_->servers()) {
+    for (server::CpuCore& c : s.cores()) c.attach_thermal(config.thermal);
+  }
+
+  // --- power infrastructure --------------------------------------------------
+  const double max_rack_w =
+      spec.peak_power_w * static_cast<double>(config.num_servers);
+  std::unique_ptr<power::EnergyStore> store;
+  if (config.supercap_wh > 0.0) {
+    store = std::make_unique<power::HybridStore>(
+        power::UpsBattery(config.ups_capacity_wh,
+                          /*max_discharge_w=*/max_rack_w),
+        power::Supercapacitor(config.supercap_wh,
+                              /*max_discharge_w=*/2.0 * max_rack_w));
+  } else {
+    store = std::make_unique<power::UpsBattery>(
+        config.ups_capacity_wh, /*max_discharge_w=*/max_rack_w);
+  }
+  path_ = std::make_unique<power::PowerPath>(
+      power::CircuitBreaker(config.sprint.cb_rated_w,
+                            power::TripCurve::bulletin_1489a()),
+      std::move(store),
+      power::DischargeCircuit(/*full_scale_w=*/max_rack_w, /*duty_steps=*/200,
+                              /*efficiency=*/0.95));
+
+  // --- controller -------------------------------------------------------------
+  sim_ = std::make_unique<sim::Simulation>(config.dt_s);
+  sim_->add(*rack_);
+  switch (config.policy) {
+    case Policy::kSprintCon:
+      sprintcon_ = std::make_unique<core::SprintConController>(config.sprint,
+                                                               *rack_, *path_);
+      sim_->add(*sprintcon_);
+      break;
+    case Policy::kSgct:
+      sgct_ = std::make_unique<baselines::SgctController>(
+          config.sprint, *rack_, *path_, baselines::SgctVariant::kRaw);
+      sim_->add(*sgct_);
+      break;
+    case Policy::kSgctV1:
+      sgct_ = std::make_unique<baselines::SgctController>(
+          config.sprint, *rack_, *path_, baselines::SgctVariant::kV1);
+      sim_->add(*sgct_);
+      break;
+    case Policy::kSgctV2:
+      sgct_ = std::make_unique<baselines::SgctController>(
+          config.sprint, *rack_, *path_, baselines::SgctVariant::kV2);
+      sim_->add(*sgct_);
+      break;
+    case Policy::kPowerCap:
+      cap_ = std::make_unique<baselines::PowerCapController>(config.sprint,
+                                                             *rack_, *path_);
+      sim_->add(*cap_);
+      break;
+  }
+
+  // --- probes ------------------------------------------------------------------
+  auto& rec = sim_->recorder();
+  rec.add_probe("total_power_w", [this] { return rack_->total_power_w(); });
+  rec.add_probe("cb_power_w", [this] { return path_->last().cb_w; });
+  rec.add_probe("ups_power_w", [this] { return path_->last().ups_w; });
+  rec.add_probe("unserved_w", [this] { return path_->last().unserved_w; });
+  rec.add_probe("cb_budget_w", [this] {
+    if (sprintcon_) return sprintcon_->p_cb_effective_w();
+    if (cap_) return cap_->cap_w();
+    return sgct_->cb_target_at(sim_->clock().now_s());
+  });
+  rec.add_probe("p_batch_target_w", [this] {
+    return sprintcon_ ? sprintcon_->p_batch_w() : 0.0;
+  });
+  rec.add_probe("freq_interactive", [this] {
+    return rack_->mean_freq(server::CoreRole::kInteractive);
+  });
+  rec.add_probe("freq_batch",
+                [this] { return rack_->mean_freq(server::CoreRole::kBatch); });
+  rec.add_probe("battery_soc",
+                [this] { return path_->battery().state_of_charge(); });
+  rec.add_probe("cb_thermal_stress",
+                [this] { return path_->breaker().thermal_stress(); });
+  rec.add_probe("breaker_open",
+                [this] { return path_->breaker().open() ? 1.0 : 0.0; });
+  rec.add_probe("battery_component_soc", [this] {
+    // For a hybrid store, the wear analysis wants the *battery's* SOC,
+    // not the combined store's.
+    if (const auto* hybrid =
+            dynamic_cast<const power::HybridStore*>(&path_->battery())) {
+      return hybrid->battery().state_of_charge();
+    }
+    return path_->battery().state_of_charge();
+  });
+  rec.add_probe("core_temp_max_c", [this] {
+    double t = 0.0;
+    for (const server::Server& s : rack_->servers()) {
+      for (const server::CpuCore& c : s.cores()) {
+        t = std::max(t, c.temperature_c());
+      }
+    }
+    return t;
+  });
+  if (!queues_.empty()) {
+    rec.add_probe("queue_backlog_mean", [this] {
+      double b = 0.0;
+      for (const auto* q : queues_) b += q->backlog();
+      return b / static_cast<double>(queues_.size());
+    });
+    rec.add_probe("queue_response_ms", [this] {
+      double t = 0.0;
+      for (const auto* q : queues_) t += q->response_time_s();
+      return t / static_cast<double>(queues_.size()) * 1000.0;
+    });
+  }
+  rec.add_probe("interactive_p95_latency_ms", [this] {
+    // Rack-mean p95 request latency over the interactive cores (M/M/1,
+    // Section "queueing" extension). A dark or saturated core counts as
+    // the 1-second clamp — requests are effectively not being served.
+    const workload::LatencyModel latency;
+    constexpr double kClampS = 1.0;
+    double sum = 0.0;
+    std::size_t n = 0;
+    for (const server::Server& s : rack_->servers()) {
+      for (const server::CpuCore& c : s.cores()) {
+        if (c.is_batch()) continue;
+        double t = kClampS;
+        if (s.powered()) {
+          t = std::min(
+              latency.percentile_response_s(c.freq(), c.utilization(), 0.95),
+              kClampS);
+        }
+        sum += t;
+        ++n;
+      }
+    }
+    return n ? sum / static_cast<double>(n) * 1000.0 : 0.0;
+  });
+}
+
+Rig::~Rig() = default;
+
+void Rig::run() {
+  if (ran_) return;
+  sim_->run_until(config_.duration_s);
+  ran_ = true;
+}
+
+void Rig::run_until(double t_s) { sim_->run_until(t_s); }
+
+metrics::RunSummary Rig::summary() const {
+  metrics::RunSummary out;
+  out.label = to_string(config_.policy);
+  const auto& rec = sim_->recorder();
+
+  out.avg_freq_interactive = rec.series("freq_interactive").mean();
+  out.avg_freq_batch = rec.series("freq_batch").mean();
+  out.mean_p95_latency_ms = rec.series("interactive_p95_latency_ms").mean();
+  out.avg_total_power_w = rec.series("total_power_w").mean();
+  out.avg_cb_power_w = rec.series("cb_power_w").mean();
+  out.peak_cb_power_w = rec.series("cb_power_w").max();
+  out.cb_energy_wh = rec.series("cb_power_w").integral() / 3600.0;
+  out.unserved_energy_wh = rec.series("unserved_w").integral() / 3600.0;
+  out.outage_start_s = rec.series("unserved_w").first_time_above(1.0);
+
+  const power::EnergyStore& battery = path_->battery();
+  out.ups_discharged_wh = battery.total_discharged_wh();
+  out.depth_of_discharge = out.ups_discharged_wh / battery.capacity_wh();
+  out.battery_cycle_life = power::lfp_cycle_life(out.depth_of_discharge);
+  out.battery_lifetime_days = power::lfp_lifetime_days(
+      out.depth_of_discharge, config_.sprints_per_day);
+
+  out.rainflow_damage =
+      power::rainflow_damage(rec.series("battery_component_soc").values());
+  out.rainflow_lifetime_days = power::rainflow_lifetime_days(
+      out.rainflow_damage, config_.sprints_per_day);
+
+  out.cb_trips = path_->breaker().trip_count();
+
+  out.deadline_s = config_.batch_deadline_s;
+  out.jobs_total = rack_->batch_cores().size();
+  double worst = 0.0;
+  for (const auto& ref : rack_->batch_cores()) {
+    const workload::BatchJob& job = *rack_->core(ref).job();
+    const bool done = job.completion_time_s() >= 0.0;
+    if (done) {
+      ++out.jobs_completed;
+      worst = std::max(worst, job.completion_time_s());
+    } else {
+      // Never finished within the run: count as a miss at run end.
+      out.all_deadlines_met = false;
+      worst = std::max(worst, sim_->clock().now_s());
+    }
+    if (done && job.completion_time_s() > job.deadline_s()) {
+      out.all_deadlines_met = false;
+    }
+  }
+  out.worst_completion_s = worst;
+  out.normalized_time_use = worst / config_.batch_deadline_s;
+  return out;
+}
+
+metrics::RunSummary run_policy(const RigConfig& config) {
+  Rig rig(config);
+  rig.run();
+  return rig.summary();
+}
+
+}  // namespace sprintcon::scenario

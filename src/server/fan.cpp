@@ -1,0 +1,48 @@
+#include "server/fan.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/validation.hpp"
+
+namespace sprintcon::server {
+
+namespace {
+// Ambient temperature drifts on a minutes scale; each re-draw shifts the
+// fan operating point by up to ~15% of peak.
+constexpr double kAmbientPeriodS = 45.0;
+constexpr double kAmbientSigma = 0.08;
+}  // namespace
+
+FanModel::FanModel(double peak_power_w, double tau_s, Rng rng)
+    : peak_power_w_(peak_power_w), tau_s_(tau_s), rng_(rng) {
+  SPRINTCON_EXPECTS(peak_power_w >= 0.0, "fan peak power must be >= 0");
+  SPRINTCON_EXPECTS(tau_s > 0.0, "fan time constant must be positive");
+}
+
+double FanModel::step(double dt_s, double server_power_w, double idle_w,
+                      double peak_w) {
+  SPRINTCON_EXPECTS(dt_s > 0.0, "dt must be positive");
+  SPRINTCON_EXPECTS(peak_w > idle_w, "peak power must exceed idle power");
+
+  ambient_timer_s_ += dt_s;
+  if (ambient_timer_s_ >= kAmbientPeriodS) {
+    ambient_timer_s_ = 0.0;
+    ambient_bias_ = std::clamp(rng_.normal(0.0, kAmbientSigma), -0.15, 0.15);
+  }
+
+  // Fan target: proportional to thermal load (server power above idle),
+  // shifted by the ambient drift.
+  const double load =
+      std::clamp((server_power_w - idle_w) / (peak_w - idle_w), 0.0, 1.0);
+  const double target =
+      std::clamp(peak_power_w_ * (0.3 + 0.7 * load + ambient_bias_), 0.0,
+                 peak_power_w_);
+
+  // First-order lag toward the target.
+  const double alpha = 1.0 - std::exp(-dt_s / tau_s_);
+  power_w_ += alpha * (target - power_w_);
+  return power_w_;
+}
+
+}  // namespace sprintcon::server

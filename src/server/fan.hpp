@@ -1,0 +1,37 @@
+// Cooling fan model: a structured, slow modeling error.
+//
+// Section V-A calls out cooling fans as a power component that is hard to
+// model (it depends on server power, temperature set points, and ambient
+// air) and therefore motivates feedback control. We model the fan as a
+// first-order lag tracking a power-dependent target plus an ambient drift,
+// so the controller sees a slowly varying bias it never modeled.
+#pragma once
+
+#include "common/rng.hpp"
+
+namespace sprintcon::server {
+
+/// One server's fan. Power is bounded in [0, peak].
+class FanModel {
+ public:
+  /// @param peak_power_w  maximum fan power
+  /// @param tau_s         first-order time constant of the fan response
+  /// @param rng           stream for the ambient drift
+  FanModel(double peak_power_w, double tau_s, Rng rng);
+
+  /// Advance by dt given the server's non-fan power consumption and its
+  /// idle/peak calibration; returns the fan power for this interval.
+  double step(double dt_s, double server_power_w, double idle_w, double peak_w);
+
+  double power_w() const noexcept { return power_w_; }
+
+ private:
+  double peak_power_w_;
+  double tau_s_;
+  Rng rng_;
+  double power_w_ = 0.0;
+  double ambient_bias_ = 0.0;
+  double ambient_timer_s_ = 0.0;
+};
+
+}  // namespace sprintcon::server

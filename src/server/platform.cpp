@@ -1,0 +1,28 @@
+#include "server/platform.hpp"
+
+#include "common/validation.hpp"
+
+namespace sprintcon::server {
+
+void PlatformSpec::validate() const {
+  SPRINTCON_EXPECTS(cores_per_server > 0, "server needs at least one core");
+  SPRINTCON_EXPECTS(freq_min > 0.0 && freq_min <= freq_max && freq_max <= 1.0,
+                    "normalized frequency bounds must satisfy 0 < min <= max <= 1");
+  SPRINTCON_EXPECTS(peak_clock_hz > 0.0, "peak clock must be positive");
+  SPRINTCON_EXPECTS(idle_power_w >= 0.0, "idle power must be non-negative");
+  SPRINTCON_EXPECTS(peak_power_w > idle_power_w,
+                    "peak power must exceed idle power");
+  SPRINTCON_EXPECTS(cubic_power_share >= 0.0 && cubic_power_share <= 1.0,
+                    "cubic share must be in [0, 1]");
+  SPRINTCON_EXPECTS(fan_peak_power_w >= 0.0 &&
+                        fan_peak_power_w < peak_power_w - idle_power_w,
+                    "fan power must leave room for core dynamic power");
+}
+
+PlatformSpec paper_platform() {
+  PlatformSpec spec;  // defaults are the paper's numbers
+  spec.validate();
+  return spec;
+}
+
+}  // namespace sprintcon::server

@@ -1,0 +1,61 @@
+// Physical platform calibration (Section VI-A of the paper).
+//
+// The evaluation platform: each server has two 4-core CPUs (8 cores), DVFS
+// from 400 MHz to 2.0 GHz, consumes 150 W idle and 300 W fully loaded at
+// peak frequency. The rack has 16 such servers (4.8 kW peak).
+//
+// All frequencies in the library are normalized: f = clock / 2.0 GHz, so
+// the DVFS range is [0.2, 1.0].
+#pragma once
+
+#include <cstddef>
+
+namespace sprintcon::server {
+
+/// Static calibration of one server model.
+struct PlatformSpec {
+  std::size_t cores_per_server = 8;  ///< two 4-core CPUs
+  double freq_min = 0.2;             ///< 400 MHz normalized
+  double freq_max = 1.0;             ///< 2.0 GHz normalized
+  double peak_clock_hz = 2.0e9;
+
+  double idle_power_w = 150.0;  ///< all cores idle
+  double peak_power_w = 300.0;  ///< all cores busy at peak frequency
+
+  /// Share of a core's peak dynamic power that scales cubically with
+  /// frequency (the rest scales linearly); the cubic share is what makes
+  /// high-frequency sprinting power-inefficient (Figure 1).
+  double cubic_power_share = 0.4;
+
+  /// Peak fan power per server; the fan is deliberately *excluded* from
+  /// the controller's linear model so it acts as a structured modeling
+  /// error (Section V-A).
+  double fan_peak_power_w = 6.0;
+
+  // --- derived quantities -------------------------------------------------
+  /// Peak dynamic power of one fully utilized core at peak frequency.
+  double core_dynamic_peak_w() const noexcept {
+    return (peak_power_w - idle_power_w - fan_peak_power_w) /
+           static_cast<double>(cores_per_server);
+  }
+  /// Linear coefficient alpha of the per-core dynamic power u*(a f + g f^3).
+  double core_linear_coeff_w() const noexcept {
+    return core_dynamic_peak_w() * (1.0 - cubic_power_share);
+  }
+  /// Cubic coefficient gamma of the per-core dynamic power.
+  double core_cubic_coeff_w() const noexcept {
+    return core_dynamic_peak_w() * cubic_power_share;
+  }
+  /// Idle power attributed to one core (the c_i m_i / M_i term of Eq. 1).
+  double core_idle_share_w() const noexcept {
+    return idle_power_w / static_cast<double>(cores_per_server);
+  }
+
+  /// Validate invariants; throws InvalidArgumentError on nonsense specs.
+  void validate() const;
+};
+
+/// The paper's evaluation platform (defaults above).
+PlatformSpec paper_platform();
+
+}  // namespace sprintcon::server

@@ -1,0 +1,83 @@
+#include "server/rack.hpp"
+
+#include "common/validation.hpp"
+
+namespace sprintcon::server {
+
+Rack::Rack(std::vector<Server> servers) : servers_(std::move(servers)) {
+  SPRINTCON_EXPECTS(!servers_.empty(), "rack needs at least one server");
+  for (std::size_t s = 0; s < servers_.size(); ++s) {
+    const auto& cores = servers_[s].cores();
+    for (std::size_t c = 0; c < cores.size(); ++c) {
+      if (cores[c].is_batch()) batch_refs_.push_back({s, c});
+    }
+  }
+}
+
+void Rack::step(const sim::SimClock& clock) {
+  for (Server& server : servers_) server.step(clock.dt_s(), clock.now_s());
+}
+
+double Rack::total_power_w() const {
+  double sum = 0.0;
+  for (const Server& s : servers_) sum += s.power_w();
+  return sum;
+}
+
+double Rack::interactive_dynamic_w() const {
+  double sum = 0.0;
+  for (const Server& s : servers_) sum += s.interactive_dynamic_w();
+  return sum;
+}
+
+double Rack::batch_dynamic_w() const {
+  double sum = 0.0;
+  for (const Server& s : servers_) sum += s.batch_dynamic_w();
+  return sum;
+}
+
+CpuCore& Rack::core(const BatchCoreRef& ref) {
+  SPRINTCON_EXPECTS(ref.server < servers_.size(), "server index out of range");
+  auto& cores = servers_[ref.server].cores();
+  SPRINTCON_EXPECTS(ref.core < cores.size(), "core index out of range");
+  return cores[ref.core];
+}
+
+const CpuCore& Rack::core(const BatchCoreRef& ref) const {
+  SPRINTCON_EXPECTS(ref.server < servers_.size(), "server index out of range");
+  const auto& cores = servers_[ref.server].cores();
+  SPRINTCON_EXPECTS(ref.core < cores.size(), "core index out of range");
+  return cores[ref.core];
+}
+
+double Rack::mean_freq(CoreRole role) const {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (const Server& s : servers_) {
+    const std::size_t count = s.count(role);
+    sum += s.mean_freq(role) * static_cast<double>(count);
+    n += count;
+  }
+  return n ? sum / static_cast<double>(n) : 0.0;
+}
+
+void Rack::set_all_powered(bool on) {
+  for (Server& s : servers_) s.set_powered(on);
+}
+
+bool Rack::any_powered() const {
+  for (const Server& s : servers_)
+    if (s.powered()) return true;
+  return false;
+}
+
+void Rack::for_each_core(CoreRole role,
+                         const std::function<void(CpuCore&)>& fn) {
+  for (Server& s : servers_) {
+    for (CpuCore& c : s.cores()) {
+      if (c.role() == role) fn(c);
+    }
+  }
+}
+
+}  // namespace sprintcon::server

@@ -1,0 +1,63 @@
+// A rack of servers — the unit SprintCon controls.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "server/server.hpp"
+#include "sim/component.hpp"
+#include "sim/clock.hpp"
+
+namespace sprintcon::server {
+
+/// Reference to one batch core within the rack (server index, core index).
+struct BatchCoreRef {
+  std::size_t server = 0;
+  std::size_t core = 0;
+};
+
+/// The rack owns its servers and advances them each tick. Controllers
+/// address batch cores through BatchCoreRef lists so they never need to
+/// know the rack layout.
+class Rack : public sim::Component {
+ public:
+  explicit Rack(std::vector<Server> servers);
+
+  std::string_view name() const override { return "rack"; }
+  void step(const sim::SimClock& clock) override;
+
+  std::vector<Server>& servers() noexcept { return servers_; }
+  const std::vector<Server>& servers() const noexcept { return servers_; }
+
+  /// Ground-truth total rack power over the last interval (the physical
+  /// power monitor of the paper reads this).
+  double total_power_w() const;
+
+  /// Ground-truth dynamic power by class (diagnostics/metrics only; the
+  /// controller must *not* read these — it works from Eq. 6).
+  double interactive_dynamic_w() const;
+  double batch_dynamic_w() const;
+
+  /// All batch cores in a stable order.
+  const std::vector<BatchCoreRef>& batch_cores() const noexcept {
+    return batch_refs_;
+  }
+  CpuCore& core(const BatchCoreRef& ref);
+  const CpuCore& core(const BatchCoreRef& ref) const;
+
+  /// Rack-mean normalized frequency by class (powered-off servers count 0).
+  double mean_freq(CoreRole role) const;
+
+  /// Power every server on/off (UPS exhaustion outage).
+  void set_all_powered(bool on);
+  bool any_powered() const;
+
+  /// Apply a function to every core of the given role.
+  void for_each_core(CoreRole role, const std::function<void(CpuCore&)>& fn);
+
+ private:
+  std::vector<Server> servers_;
+  std::vector<BatchCoreRef> batch_refs_;
+};
+
+}  // namespace sprintcon::server

@@ -1,0 +1,84 @@
+#include "server/server.hpp"
+
+#include "common/validation.hpp"
+
+namespace sprintcon::server {
+
+namespace {
+// Fan thermal response time constant.
+constexpr double kFanTauS = 8.0;
+}  // namespace
+
+Server::Server(const PlatformSpec& spec, std::vector<CpuCore> cores, Rng rng)
+    : spec_(spec),
+      cores_(std::move(cores)),
+      measurement_(spec),
+      fan_(spec.fan_peak_power_w, kFanTauS, rng) {
+  spec_.validate();
+  SPRINTCON_EXPECTS(cores_.size() == spec.cores_per_server,
+                    "core count must match the platform spec");
+}
+
+void Server::step(double dt_s, double now_s) {
+  if (!powered_) {
+    power_w_ = 0.0;
+    inter_dyn_w_ = 0.0;
+    batch_dyn_w_ = 0.0;
+    fan_power_w_ = 0.0;
+    return;
+  }
+
+  inter_dyn_w_ = 0.0;
+  batch_dyn_w_ = 0.0;
+  for (CpuCore& core : cores_) {
+    core.step(dt_s, now_s);
+    const double dyn =
+        measurement_.core_dynamic_w(core.freq(), core.utilization());
+    core.update_thermal(dyn, dt_s);
+    if (core.is_batch()) {
+      batch_dyn_w_ += dyn;
+    } else {
+      inter_dyn_w_ += dyn;
+    }
+  }
+
+  const double before_fan =
+      measurement_.server_power_w(inter_dyn_w_ + batch_dyn_w_);
+  fan_power_w_ =
+      fan_.step(dt_s, before_fan, spec_.idle_power_w, spec_.peak_power_w);
+  power_w_ = before_fan + fan_power_w_;
+}
+
+double Server::interactive_utilization() const {
+  if (!powered_) return 0.0;
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (const CpuCore& core : cores_) {
+    if (!core.is_batch()) {
+      sum += core.utilization();
+      ++n;
+    }
+  }
+  return n ? sum / static_cast<double>(n) : 0.0;
+}
+
+double Server::mean_freq(CoreRole role) const {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (const CpuCore& core : cores_) {
+    if (core.role() == role) {
+      sum += powered_ ? core.freq() : 0.0;
+      ++n;
+    }
+  }
+  return n ? sum / static_cast<double>(n) : 0.0;
+}
+
+std::size_t Server::count(CoreRole role) const {
+  std::size_t n = 0;
+  for (const CpuCore& core : cores_)
+    if (core.role() == role) ++n;
+  return n;
+}
+
+}  // namespace sprintcon::server

@@ -1,0 +1,32 @@
+#include "server/thermal.hpp"
+
+#include <cmath>
+
+#include "common/validation.hpp"
+
+namespace sprintcon::server {
+
+void ThermalSpec::validate() const {
+  SPRINTCON_EXPECTS(resistance_c_per_w > 0.0,
+                    "thermal resistance must be positive");
+  SPRINTCON_EXPECTS(time_constant_s > 0.0, "thermal tau must be positive");
+  SPRINTCON_EXPECTS(throttle_temp_c > ambient_c,
+                    "throttle temperature must exceed ambient");
+  SPRINTCON_EXPECTS(critical_temp_c >= throttle_temp_c,
+                    "critical temperature must be >= throttle");
+}
+
+CoreThermalModel::CoreThermalModel(const ThermalSpec& spec)
+    : spec_(spec), temperature_c_(spec.ambient_c) {
+  spec.validate();
+}
+
+void CoreThermalModel::step(double power_w, double dt_s) {
+  SPRINTCON_EXPECTS(power_w >= 0.0, "core power must be non-negative");
+  SPRINTCON_EXPECTS(dt_s > 0.0, "dt must be positive");
+  const double target = steady_state_c(power_w);
+  const double alpha = 1.0 - std::exp(-dt_s / spec_.time_constant_s);
+  temperature_c_ += alpha * (target - temperature_c_);
+}
+
+}  // namespace sprintcon::server

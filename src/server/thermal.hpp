@@ -1,0 +1,72 @@
+// Per-core thermal model.
+//
+// Computational sprinting was originally a *thermal* technique (Raghavan
+// et al. [1]): chips can exceed their sustainable power as long as the
+// thermal capacitance absorbs the burst. We model each core as a
+// first-order thermal RC circuit,
+//
+//     dT/dt = (T_ss - T) / tau,   T_ss = T_ambient + R_th * P_core,
+//
+// which gives the exponential heat-up/cool-down of the real die. The
+// server power controller uses `above_throttle()` as a per-core guard:
+// a core that exceeds its throttle temperature has its frequency ceiling
+// backed off until it cools (Section V's Eq. 9 bounds become dynamic).
+//
+// With the default calibration, peak sustained power keeps the core below
+// the throttle point — the guard only engages with degraded cooling
+// (higher R_th), mirroring how sprinting hardware behaves when fans fail.
+#pragma once
+
+namespace sprintcon::server {
+
+/// Static thermal calibration of one core.
+struct ThermalSpec {
+  double ambient_c = 25.0;
+  /// Junction-to-ambient thermal resistance (deg C per watt).
+  double resistance_c_per_w = 2.2;
+  /// Thermal RC time constant (seconds).
+  double time_constant_s = 12.0;
+  /// Temperature at which the DVFS guard backs the core off.
+  double throttle_temp_c = 85.0;
+  /// Hardware-critical temperature (diagnostics only; the guard should
+  /// never let a core get here).
+  double critical_temp_c = 95.0;
+
+  void validate() const;
+};
+
+/// First-order thermal state of one core.
+class CoreThermalModel {
+ public:
+  explicit CoreThermalModel(const ThermalSpec& spec);
+
+  const ThermalSpec& spec() const noexcept { return spec_; }
+
+  /// Advance by dt under the given core power draw.
+  void step(double power_w, double dt_s);
+
+  double temperature_c() const noexcept { return temperature_c_; }
+  /// Steady-state temperature this power level would reach.
+  double steady_state_c(double power_w) const noexcept {
+    return spec_.ambient_c + spec_.resistance_c_per_w * power_w;
+  }
+  bool above_throttle() const noexcept {
+    return temperature_c_ >= spec_.throttle_temp_c;
+  }
+  bool critical() const noexcept {
+    return temperature_c_ >= spec_.critical_temp_c;
+  }
+
+  /// Sustainable core power: the draw whose steady state sits exactly at
+  /// the throttle temperature.
+  double sustainable_power_w() const noexcept {
+    return (spec_.throttle_temp_c - spec_.ambient_c) /
+           spec_.resistance_c_per_w;
+  }
+
+ private:
+  ThermalSpec spec_;
+  double temperature_c_;
+};
+
+}  // namespace sprintcon::server

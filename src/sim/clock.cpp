@@ -1,0 +1,19 @@
+#include "sim/clock.hpp"
+
+#include <cmath>
+
+#include "common/validation.hpp"
+
+namespace sprintcon::sim {
+
+SimClock::SimClock(double dt_s) : dt_s_(dt_s) {
+  SPRINTCON_EXPECTS(dt_s > 0.0, "clock step must be positive");
+}
+
+bool SimClock::every(double period_s) const noexcept {
+  const auto period_ticks = static_cast<std::uint64_t>(
+      std::llround(std::fmax(period_s / dt_s_, 1.0)));
+  return tick_ % period_ticks == 0;
+}
+
+}  // namespace sprintcon::sim

@@ -1,0 +1,49 @@
+#include "sim/recorder.hpp"
+
+#include "common/validation.hpp"
+
+namespace sprintcon::sim {
+
+TraceRecorder::TraceRecorder(double dt_s) : dt_s_(dt_s) {
+  SPRINTCON_EXPECTS(dt_s > 0.0, "recorder interval must be positive");
+}
+
+void TraceRecorder::add_probe(std::string name, std::function<double()> probe) {
+  SPRINTCON_EXPECTS(static_cast<bool>(probe), "probe must be callable");
+  SPRINTCON_EXPECTS(!has(name), "duplicate probe name: " + name);
+  probes_.push_back(std::move(probe));
+  series_.emplace_back(std::move(name), dt_s_);
+}
+
+void TraceRecorder::sample() {
+  for (std::size_t i = 0; i < probes_.size(); ++i)
+    series_[i].push(probes_[i]());
+}
+
+bool TraceRecorder::has(std::string_view name) const {
+  for (const auto& s : series_)
+    if (s.name() == name) return true;
+  return false;
+}
+
+const TimeSeries& TraceRecorder::series(std::string_view name) const {
+  for (const auto& s : series_)
+    if (s.name() == name) return s;
+  throw InvalidArgumentError("unknown trace channel: " + std::string(name));
+}
+
+std::vector<std::string> TraceRecorder::channel_names() const {
+  std::vector<std::string> names;
+  names.reserve(series_.size());
+  for (const auto& s : series_) names.push_back(s.name());
+  return names;
+}
+
+std::vector<const TimeSeries*> TraceRecorder::all_series() const {
+  std::vector<const TimeSeries*> out;
+  out.reserve(series_.size());
+  for (const auto& s : series_) out.push_back(&s);
+  return out;
+}
+
+}  // namespace sprintcon::sim

@@ -1,0 +1,42 @@
+// Trace recording: named probes sampled once per simulation tick.
+//
+// Probes are arbitrary callables (typically lambdas reading component
+// state); the recorder turns them into TimeSeries that the metrics layer
+// and the figure-reproduction benches consume.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/time_series.hpp"
+
+namespace sprintcon::sim {
+
+class SimClock;
+
+/// Collects one TimeSeries per registered probe.
+class TraceRecorder {
+ public:
+  /// @param dt_s sampling interval; must equal the simulation step.
+  explicit TraceRecorder(double dt_s);
+
+  /// Register a probe. Names must be unique.
+  void add_probe(std::string name, std::function<double()> probe);
+
+  /// Sample all probes (called by Simulation once per tick).
+  void sample();
+
+  bool has(std::string_view name) const;
+  /// Access a recorded channel; throws InvalidArgumentError if unknown.
+  const TimeSeries& series(std::string_view name) const;
+  std::vector<std::string> channel_names() const;
+  std::vector<const TimeSeries*> all_series() const;
+
+ private:
+  double dt_s_;
+  std::vector<std::function<double()>> probes_;
+  std::vector<TimeSeries> series_;
+};
+
+}  // namespace sprintcon::sim

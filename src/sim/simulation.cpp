@@ -1,0 +1,30 @@
+#include "sim/simulation.hpp"
+
+#include "common/validation.hpp"
+
+namespace sprintcon::sim {
+
+Simulation::Simulation(double dt_s) : clock_(dt_s), recorder_(dt_s) {}
+
+void Simulation::add(Component& component) {
+  components_.push_back(&component);
+}
+
+void Simulation::add_post_tick_hook(std::function<void(const SimClock&)> hook) {
+  SPRINTCON_EXPECTS(static_cast<bool>(hook), "hook must be callable");
+  hooks_.push_back(std::move(hook));
+}
+
+void Simulation::step_once() {
+  for (Component* c : components_) c->step(clock_);
+  clock_.advance();
+  recorder_.sample();
+  for (const auto& hook : hooks_) hook(clock_);
+}
+
+void Simulation::run_until(double t_end_s) {
+  SPRINTCON_EXPECTS(t_end_s >= clock_.now_s(), "cannot run backwards");
+  while (clock_.now_s() < t_end_s) step_once();
+}
+
+}  // namespace sprintcon::sim

@@ -1,0 +1,102 @@
+// A running batch job instance pinned to one core.
+//
+// Tracks execution progress under time-varying DVFS, synthesizes the
+// performance-counter statistics (used cycles, cache misses) that the
+// paper's short-term profiling collects, and exposes the quantities the
+// SprintCon allocator and MPC penalty weighting need: progress, remaining
+// work, deadline slack, and the R weight of Section V-B.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.hpp"
+#include "workload/batch_profile.hpp"
+#include "workload/progress_model.hpp"
+
+namespace sprintcon::workload {
+
+/// Synthesized performance-counter snapshot for one control period.
+struct PerfCounterSample {
+  double cycles = 0.0;        ///< CPU cycles consumed
+  double instructions = 0.0;  ///< instructions retired
+  double cache_misses = 0.0;  ///< LLC misses
+  double busy_fraction = 0.0; ///< fraction of the period the core was busy
+};
+
+/// Completion policy when a job finishes before the simulation ends.
+enum class CompletionMode {
+  /// Re-execute immediately (the paper's 15-minute continuous traces).
+  kRepeat,
+  /// Run once; the core idles afterwards (the deadline experiments).
+  kRunOnce,
+};
+
+/// One batch job bound to one core.
+class BatchJob {
+ public:
+  /// @param profile     static benchmark character
+  /// @param deadline_s  absolute deadline (simulation time)
+  /// @param work_s      total work in seconds-at-peak; <= 0 uses the
+  ///                    profile's nominal work
+  /// @param mode        what happens on completion
+  /// @param rng         stream for per-phase variation
+  BatchJob(const BatchProfile& profile, double deadline_s, double work_s,
+           CompletionMode mode, Rng rng);
+
+  const std::string& name() const noexcept { return profile_.name; }
+  const BatchProfile& profile() const noexcept { return profile_; }
+  const ProgressModel& model() const noexcept { return model_; }
+  CompletionMode mode() const noexcept { return mode_; }
+
+  /// Advance by dt at the given normalized frequency. Returns the
+  /// perf-counter sample for the interval.
+  PerfCounterSample advance(double dt_s, double freq, double now_s);
+
+  // --- progress & deadline queries ---------------------------------------
+  /// Fraction complete of the *current* execution, in [0, 1].
+  double progress() const noexcept { return progress_; }
+  bool completed() const noexcept { return completed_; }
+  /// Number of full executions completed (kRepeat counts every pass).
+  std::uint64_t completions() const noexcept { return completions_; }
+  double deadline_s() const noexcept { return deadline_s_; }
+  /// Simulation time when the first execution completed (negative until then).
+  double completion_time_s() const noexcept { return completion_time_s_; }
+  /// Remaining work of the current execution in seconds-at-peak.
+  double remaining_work_s() const noexcept;
+  /// Estimated wall seconds to finish at a constant frequency.
+  double estimated_remaining_time_s(double freq) const;
+
+  /// The MPC control-penalty weight of Section V-B:
+  ///   R = (1 - progress) / (time-left / (elapsed + time-left)).
+  /// A job that is behind schedule gets a larger weight, pulling its core
+  /// toward peak frequency. Returns 0 for completed kRunOnce jobs (their
+  /// cores have nothing to speed up), and a large finite weight when the
+  /// deadline has already passed.
+  double penalty_weight(double now_s) const;
+
+  /// Core utilization while the job runs (0 when a kRunOnce job is done).
+  double utilization() const noexcept;
+
+  /// True if, at the given frequency, the job is expected to miss its
+  /// deadline (used by the allocator's P_batch escalation).
+  bool deadline_at_risk(double now_s, double freq) const;
+
+ private:
+  BatchProfile profile_;
+  ProgressModel model_;
+  CompletionMode mode_;
+  double work_total_s_;
+  double deadline_s_;
+  double progress_ = 0.0;
+  bool completed_ = false;
+  std::uint64_t completions_ = 0;
+  double completion_time_s_ = -1.0;
+  double start_time_s_ = 0.0;
+  // Slow phase modulation of utilization/counter intensity.
+  Rng rng_;
+  double phase_noise_ = 0.0;
+  double phase_timer_s_ = 0.0;
+};
+
+}  // namespace sprintcon::workload

@@ -1,0 +1,82 @@
+#include "workload/interactive.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/validation.hpp"
+
+namespace sprintcon::workload {
+
+InteractiveTraceGenerator::InteractiveTraceGenerator(
+    const InteractiveTraceConfig& config, Rng rng, double phase_s)
+    : config_(config), rng_(rng), phase_s_(phase_s),
+      utilization_(config.idle_utilization) {
+  SPRINTCON_EXPECTS(config.mean_utilization >= 0.0 &&
+                        config.mean_utilization <= 1.0,
+                    "mean utilization must be in [0, 1]");
+  SPRINTCON_EXPECTS(config.noise_tau_s > 0.0, "noise tau must be positive");
+  SPRINTCON_EXPECTS(config.spike_decay_s > 0.0, "spike decay must be positive");
+  SPRINTCON_EXPECTS(config.swell_period_s > 0.0, "swell period must be positive");
+  for (std::size_t i = 1; i < config.envelope.size(); ++i) {
+    SPRINTCON_EXPECTS(config.envelope[i].t_s > config.envelope[i - 1].t_s,
+                      "envelope points must be sorted by time");
+  }
+  for (const EnvelopePoint& p : config.envelope) {
+    SPRINTCON_EXPECTS(p.mean_utilization >= 0.0 && p.mean_utilization <= 1.0,
+                      "envelope utilization must be in [0, 1]");
+  }
+}
+
+double InteractiveTraceGenerator::envelope_mean(double t_s) const {
+  const auto& env = config_.envelope;
+  if (env.empty()) return config_.mean_utilization;
+  if (t_s <= env.front().t_s) return env.front().mean_utilization;
+  if (t_s >= env.back().t_s) return env.back().mean_utilization;
+  for (std::size_t i = 1; i < env.size(); ++i) {
+    if (t_s <= env[i].t_s) {
+      const double x =
+          (t_s - env[i - 1].t_s) / (env[i].t_s - env[i - 1].t_s);
+      return env[i - 1].mean_utilization +
+             x * (env[i].mean_utilization - env[i - 1].mean_utilization);
+    }
+  }
+  return env.back().mean_utilization;  // unreachable
+}
+
+double InteractiveTraceGenerator::step(double dt_s, double /*freq*/) {
+  SPRINTCON_EXPECTS(dt_s > 0.0, "dt must be positive");
+  now_s_ += dt_s;
+
+  // Burst envelope (or constant mean), with the onset ramp applied on top.
+  const double mean = envelope_mean(now_s_);
+  double base = mean;
+  if (config_.ramp_up_s > 0.0 && now_s_ < config_.ramp_up_s) {
+    const double x = now_s_ / config_.ramp_up_s;
+    base = config_.idle_utilization + (mean - config_.idle_utilization) * x;
+  }
+
+  // Slow swell (minutes scale).
+  const double swell =
+      config_.swell_amplitude *
+      std::sin(2.0 * std::numbers::pi * (now_s_ + phase_s_) /
+               config_.swell_period_s);
+
+  // AR(1) noise discretized to stay stationary for any dt.
+  const double rho = std::exp(-dt_s / config_.noise_tau_s);
+  const double innovation_sigma =
+      config_.noise_sigma * std::sqrt(std::max(1.0 - rho * rho, 0.0));
+  ar_state_ = rho * ar_state_ + rng_.normal(0.0, innovation_sigma);
+
+  // Spike process: Poisson arrivals, exponential decay.
+  spike_level_ *= std::exp(-dt_s / config_.spike_decay_s);
+  const double p_arrival = 1.0 - std::exp(-config_.spike_rate_per_s * dt_s);
+  if (rng_.bernoulli(p_arrival)) {
+    spike_level_ += config_.spike_magnitude * rng_.uniform(0.6, 1.4);
+  }
+
+  utilization_ = std::clamp(base + swell + ar_state_ + spike_level_, 0.0, 1.0);
+  return utilization_;
+}
+
+}  // namespace sprintcon::workload

@@ -1,0 +1,89 @@
+// Interactive workload synthesis (Wikipedia-like request traces).
+//
+// The paper drives its interactive cores from traces of a Wikipedia data
+// center [31]: a 15-minute window of a request stream whose intensity has
+// (a) a slow swell over minutes, (b) short-term correlated noise, and
+// (c) occasional sharp spikes. The UPS power controller exists precisely
+// because this signal fluctuates faster than a throttling loop could
+// track; this generator reproduces those dynamics deterministically.
+//
+// The generator emits per-core *utilization* in [0, 1] — interactive cores
+// always run at peak frequency during a sprint, so their power depends on
+// utilization only (Eq. 5 of the paper).
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "workload/utilization_source.hpp"
+
+namespace sprintcon::workload {
+
+/// One breakpoint of a burst envelope: the target mean utilization at an
+/// absolute trace time. Between breakpoints the mean is interpolated
+/// linearly; before the first / after the last it holds.
+struct EnvelopePoint {
+  double t_s = 0.0;
+  double mean_utilization = 0.5;
+};
+
+/// Shape parameters of the synthetic interactive trace.
+struct InteractiveTraceConfig {
+  /// Burst-average core utilization once the burst has ramped up.
+  double mean_utilization = 0.65;
+  /// Optional burst envelope overriding the constant mean: lets scenarios
+  /// model step bursts, ramps, flash crowds, or decaying events. Points
+  /// must be sorted by time. Empty = constant mean (the ramp_up_s onset
+  /// below still applies).
+  std::vector<EnvelopePoint> envelope;
+  /// Amplitude of the slow sinusoidal swell (minutes time scale).
+  double swell_amplitude = 0.15;
+  double swell_period_s = 210.0;
+  /// AR(1) noise: stationary standard deviation and correlation time.
+  double noise_sigma = 0.07;
+  double noise_tau_s = 12.0;
+  /// Poisson spike process: expected arrivals per second, initial height,
+  /// and exponential decay time of each spike.
+  double spike_rate_per_s = 1.0 / 90.0;
+  double spike_magnitude = 0.22;
+  double spike_decay_s = 12.0;
+  /// Burst onset: utilization ramps from `idle_utilization` to the mean
+  /// over this many seconds at the start of the trace.
+  double ramp_up_s = 20.0;
+  double idle_utilization = 0.15;
+};
+
+/// Deterministic per-core interactive utilization generator.
+class InteractiveTraceGenerator final : public UtilizationSource {
+ public:
+  /// @param config   trace shape
+  /// @param rng      private random stream (use Rng::split per core)
+  /// @param phase_s  phase offset of the slow swell, decorrelating servers
+  InteractiveTraceGenerator(const InteractiveTraceConfig& config, Rng rng,
+                            double phase_s = 0.0);
+
+  /// Advance by dt and return the utilization for the elapsed interval
+  /// (trace-driven: the core frequency is ignored).
+  double step(double dt_s, double freq = 1.0) override;
+
+  /// Utilization of the last completed interval (initial value before any
+  /// step: the idle utilization).
+  double utilization() const noexcept override { return utilization_; }
+
+  const InteractiveTraceConfig& config() const noexcept { return config_; }
+
+  /// The envelope's target mean at an absolute trace time (the constant
+  /// mean when no envelope is configured). Exposed for tests.
+  double envelope_mean(double t_s) const;
+
+ private:
+  InteractiveTraceConfig config_;
+  Rng rng_;
+  double phase_s_;
+  double now_s_ = 0.0;
+  double ar_state_ = 0.0;
+  double spike_level_ = 0.0;
+  double utilization_;
+};
+
+}  // namespace sprintcon::workload

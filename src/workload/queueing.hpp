@@ -1,0 +1,52 @@
+// Interactive request latency model (M/M/1).
+//
+// The paper measures interactive performance via processor frequency
+// (Fig. 7): since interactive cores run a request stream, frequency maps
+// to service rate and hence to response time. This module makes that
+// mapping explicit so the evaluation can report *latency*, not just
+// clock speed: each interactive core is an M/M/1 station whose service
+// rate scales linearly with core frequency,
+//
+//     mu(f) = mu_peak * f,      lambda = u_peak * mu_peak,
+//
+// where u_peak is the measured utilization at peak frequency (what the
+// simulator's utilization monitors report during a sprint). Throttling a
+// core (frequency f < 1) raises its effective load rho = u_peak / f; at
+// rho >= 1 the queue saturates and the response time diverges — exactly
+// why the paper keeps interactive cores at peak frequency.
+//
+// M/M/1 response time is exponentially distributed with rate mu - lambda,
+// giving closed forms for the mean and any percentile.
+#pragma once
+
+namespace sprintcon::workload {
+
+/// Latency analysis for one interactive core.
+class LatencyModel {
+ public:
+  /// @param service_rate_peak  requests/s the core serves at peak clock
+  explicit LatencyModel(double service_rate_peak = 1000.0);
+
+  double service_rate_peak() const noexcept { return service_rate_peak_; }
+
+  /// Effective load rho at frequency `freq` given the utilization measured
+  /// at peak frequency. Can exceed 1 (saturation).
+  double effective_load(double freq, double peak_utilization) const;
+
+  /// Mean response time in seconds; +infinity when saturated (rho >= 1).
+  double mean_response_s(double freq, double peak_utilization) const;
+
+  /// p-quantile of the response time (e.g. p = 0.95); +infinity when
+  /// saturated.
+  double percentile_response_s(double freq, double peak_utilization,
+                               double p) const;
+
+  /// Highest peak-utilization a core at frequency `freq` can serve while
+  /// keeping the mean response below `target_s`.
+  double max_utilization_for_response(double freq, double target_s) const;
+
+ private:
+  double service_rate_peak_;
+};
+
+}  // namespace sprintcon::workload

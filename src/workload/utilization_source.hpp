@@ -1,0 +1,29 @@
+// Abstraction over interactive-utilization generators.
+//
+// An interactive core's demand signal can come from the synthetic
+// Wikipedia-like generator (InteractiveTraceGenerator) or from a recorded
+// trace replayed from disk (ReplayUtilization, see trace_io.hpp). Both
+// implement this interface so a CpuCore does not care which one drives it.
+#pragma once
+
+namespace sprintcon::workload {
+
+/// A per-core utilization signal advanced tick by tick.
+class UtilizationSource {
+ public:
+  virtual ~UtilizationSource() = default;
+
+  /// Advance by dt and return the utilization in [0, 1] for the elapsed
+  /// interval.
+  ///
+  /// `freq` is the core's current normalized frequency. Trace-style
+  /// sources ignore it (the recorded demand is what it is); queue-backed
+  /// sources (RequestQueueSource) use it — throttling a core raises its
+  /// utilization and builds backlog, like a real request server.
+  virtual double step(double dt_s, double freq = 1.0) = 0;
+
+  /// Utilization of the last completed interval.
+  virtual double utilization() const = 0;
+};
+
+}  // namespace sprintcon::workload

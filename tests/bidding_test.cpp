@@ -1,0 +1,77 @@
+// Tests for proportional-share power bidding (degraded mode, after [2]).
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/error.hpp"
+#include "core/bidding.hpp"
+
+namespace sprintcon::core {
+namespace {
+
+double total(const std::vector<double>& v) {
+  return std::accumulate(v.begin(), v.end(), 0.0);
+}
+
+TEST(Bidding, ProportionalWhenBudgetScarce) {
+  const auto alloc =
+      allocate_power(300.0, {{2.0, 1000.0}, {1.0, 1000.0}});
+  EXPECT_NEAR(alloc[0], 200.0, 1e-9);
+  EXPECT_NEAR(alloc[1], 100.0, 1e-9);
+}
+
+TEST(Bidding, DemandCapsAreRespected) {
+  const auto alloc = allocate_power(1000.0, {{1.0, 100.0}, {1.0, 2000.0}});
+  EXPECT_NEAR(alloc[0], 100.0, 1e-9);  // capped at demand
+  EXPECT_NEAR(alloc[1], 900.0, 1e-9);  // surplus redistributed
+}
+
+TEST(Bidding, BudgetCoversAllDemand) {
+  const auto alloc = allocate_power(5000.0, {{1.0, 100.0}, {3.0, 200.0}});
+  EXPECT_NEAR(alloc[0], 100.0, 1e-9);
+  EXPECT_NEAR(alloc[1], 200.0, 1e-9);
+}
+
+TEST(Bidding, AllocationNeverExceedsBudget) {
+  const auto alloc =
+      allocate_power(750.0, {{1.0, 400.0}, {2.0, 400.0}, {4.0, 400.0}});
+  EXPECT_LE(total(alloc), 750.0 + 1e-9);
+  // And never exceeds any demand.
+  for (double a : alloc) EXPECT_LE(a, 400.0 + 1e-9);
+}
+
+TEST(Bidding, ZeroBudgetGivesNothing) {
+  const auto alloc = allocate_power(0.0, {{1.0, 100.0}});
+  EXPECT_DOUBLE_EQ(alloc[0], 0.0);
+}
+
+TEST(Bidding, ZeroBidGetsNothingWhenScarce) {
+  const auto alloc = allocate_power(100.0, {{0.0, 100.0}, {1.0, 100.0}});
+  EXPECT_DOUBLE_EQ(alloc[0], 0.0);
+  EXPECT_NEAR(alloc[1], 100.0, 1e-9);
+}
+
+TEST(Bidding, EmptyBiddersOk) {
+  EXPECT_TRUE(allocate_power(100.0, {}).empty());
+}
+
+TEST(Bidding, HigherBidNeverGetsLess) {
+  const auto alloc =
+      allocate_power(600.0, {{1.0, 500.0}, {2.0, 500.0}, {5.0, 500.0}});
+  EXPECT_LE(alloc[0], alloc[1] + 1e-9);
+  EXPECT_LE(alloc[1], alloc[2] + 1e-9);
+}
+
+TEST(Bidding, ExhaustsBudgetWhenDemandAllows) {
+  const auto alloc = allocate_power(600.0, {{1.0, 500.0}, {1.0, 500.0}});
+  EXPECT_NEAR(total(alloc), 600.0, 1e-6);
+}
+
+TEST(Bidding, NegativeInputsThrow) {
+  EXPECT_THROW(allocate_power(-1.0, {}), InvalidArgumentError);
+  EXPECT_THROW(allocate_power(1.0, {{-1.0, 10.0}}), InvalidArgumentError);
+  EXPECT_THROW(allocate_power(1.0, {{1.0, -10.0}}), InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace sprintcon::core

@@ -1,0 +1,98 @@
+// Tests for the multi-rack Facility coordinator.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "scenario/facility.hpp"
+
+namespace sprintcon::scenario {
+namespace {
+
+FacilityConfig small_facility(bool staggered, std::size_t racks = 3) {
+  FacilityConfig cfg;
+  cfg.num_racks = racks;
+  cfg.staggered = staggered;
+  cfg.rack.num_servers = 2;
+  cfg.rack.sprint.cb_rated_w = 2.0 * 300.0 * (2.0 / 3.0);
+  cfg.rack.ups_capacity_wh = 50.0;
+  cfg.rack.duration_s = 450.0;  // one full overload/recovery cycle
+  cfg.rack.completion = workload::CompletionMode::kRepeat;
+  return cfg;
+}
+
+TEST(Facility, BuildsRequestedRacks) {
+  Facility facility(small_facility(true));
+  EXPECT_EQ(facility.num_racks(), 3u);
+  EXPECT_THROW(facility.rig(3), InvalidArgumentError);
+}
+
+TEST(Facility, RacksGetDistinctSeeds) {
+  Facility facility(small_facility(false, 2));
+  facility.run();
+  const auto& a = facility.rig(0).recorder().series("total_power_w");
+  const auto& b = facility.rig(1).recorder().series("total_power_w");
+  double diff = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) diff += std::abs(a[i] - b[i]);
+  EXPECT_GT(diff, 1.0);
+}
+
+TEST(Facility, StaggeredOffsetsFollowTheCycle) {
+  const FacilityConfig cfg = small_facility(true);
+  Facility facility(cfg);
+  const double cycle = cfg.rack.sprint.cb_overload_duration_s +
+                       cfg.rack.sprint.cb_recovery_duration_s;
+  EXPECT_DOUBLE_EQ(facility.rig(0).config().sprint.schedule_offset_s, 0.0);
+  EXPECT_NEAR(facility.rig(1).config().sprint.schedule_offset_s, cycle / 3.0,
+              1e-9);
+  EXPECT_NEAR(facility.rig(2).config().sprint.schedule_offset_s,
+              2.0 * cycle / 3.0, 1e-9);
+}
+
+TEST(Facility, SynchronizedHasNoOffsets) {
+  Facility facility(small_facility(false));
+  for (std::size_t r = 0; r < facility.num_racks(); ++r) {
+    EXPECT_DOUBLE_EQ(facility.rig(r).config().sprint.schedule_offset_s, 0.0);
+  }
+}
+
+TEST(Facility, AggregateIsSumOfRacks) {
+  Facility facility(small_facility(true, 2));
+  facility.run();
+  const TimeSeries sum = facility.facility_cb_power();
+  const auto& a = facility.rig(0).recorder().series("cb_power_w");
+  const auto& b = facility.rig(1).recorder().series("cb_power_w");
+  ASSERT_EQ(sum.size(), a.size());
+  for (std::size_t i = 0; i < sum.size(); i += 37) {
+    EXPECT_NEAR(sum[i], a[i] + b[i], 1e-9);
+  }
+}
+
+TEST(Facility, StaggeringFlattensThePeak) {
+  Facility sync(small_facility(false));
+  Facility stag(small_facility(true));
+  sync.run();
+  stag.run();
+  EXPECT_LT(stag.cb_peak_to_mean(), sync.cb_peak_to_mean());
+}
+
+TEST(Facility, EveryRackStaysSafe) {
+  Facility facility(small_facility(true));
+  facility.run();
+  for (const auto& summary : facility.summaries()) {
+    EXPECT_EQ(summary.cb_trips, 0);
+    EXPECT_LT(summary.outage_start_s, 0.0);
+  }
+}
+
+TEST(Facility, AggregationBeforeRunThrows) {
+  Facility facility(small_facility(true));
+  EXPECT_THROW(facility.facility_cb_power(), InvalidStateError);
+}
+
+TEST(Facility, InvalidConfigThrows) {
+  FacilityConfig cfg = small_facility(true);
+  cfg.num_racks = 0;
+  EXPECT_THROW(Facility{cfg}, InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace sprintcon::scenario

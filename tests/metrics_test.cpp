@@ -1,0 +1,58 @@
+// Tests for the metrics layer.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "metrics/summary.hpp"
+
+namespace sprintcon::metrics {
+namespace {
+
+TEST(Metrics, CapacityImprovementMatchesPaperArithmetic) {
+  // Paper Section VII-C: SprintCon at f=1.0 vs SGCT-V2 at 0.94 -> +6%,
+  // vs SGCT at 0.64 -> +56%.
+  EXPECT_NEAR(capacity_improvement(1.0, 0.94), 0.0638, 1e-3);
+  EXPECT_NEAR(capacity_improvement(1.0, 0.64), 0.5625, 1e-4);
+}
+
+TEST(Metrics, CapacityImprovementSymmetry) {
+  EXPECT_DOUBLE_EQ(capacity_improvement(1.0, 1.0), 0.0);
+  EXPECT_LT(capacity_improvement(0.8, 1.0), 0.0);
+}
+
+TEST(Metrics, StorageReduction) {
+  EXPECT_NEAR(storage_reduction(13.0, 100.0), 0.87, 1e-9);
+  EXPECT_DOUBLE_EQ(storage_reduction(50.0, 50.0), 0.0);
+}
+
+TEST(Metrics, InvalidInputsThrow) {
+  EXPECT_THROW(capacity_improvement(0.0, 1.0), sprintcon::InvalidArgumentError);
+  EXPECT_THROW(storage_reduction(1.0, 0.0), sprintcon::InvalidArgumentError);
+}
+
+TEST(Metrics, PrintSummariesRendersAllRows) {
+  RunSummary a;
+  a.label = "SprintCon";
+  a.avg_freq_interactive = 1.0;
+  a.avg_freq_batch = 0.59;
+  a.depth_of_discharge = 0.17;
+  a.all_deadlines_met = true;
+  RunSummary b;
+  b.label = "SGCT";
+  b.outage_start_s = 660.0;
+  b.all_deadlines_met = false;
+
+  std::ostringstream os;
+  const RunSummary runs[] = {a, b};
+  print_summaries(os, runs);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("SprintCon"), std::string::npos);
+  EXPECT_NE(s.find("SGCT"), std::string::npos);
+  EXPECT_NE(s.find("17.0%"), std::string::npos);
+  EXPECT_NE(s.find("11.0 min"), std::string::npos);
+  EXPECT_NE(s.find("NO"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sprintcon::metrics

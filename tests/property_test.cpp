@@ -1,0 +1,146 @@
+// Seed- and parameter-sweep property tests: the safety and efficiency
+// invariants SprintCon guarantees must hold for *every* workload draw,
+// not just the canonical seed.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "scenario/rig.hpp"
+
+namespace sprintcon::scenario {
+namespace {
+
+RigConfig sweep_rig(std::uint64_t seed) {
+  RigConfig cfg;
+  cfg.num_servers = 4;
+  cfg.sprint.cb_rated_w = 4.0 * 300.0 * (2.0 / 3.0);
+  cfg.ups_capacity_wh = 100.0;
+  cfg.seed = seed;
+  return cfg;
+}
+
+class SeedSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SeedSweep, SprintConSafetyInvariantsHold) {
+  RigConfig cfg = sweep_rig(1000 + static_cast<std::uint64_t>(GetParam()));
+  Rig rig(cfg);
+  rig.run();
+  const auto s = rig.summary();
+
+  // Safety: no trips, no outage, battery never empty.
+  EXPECT_EQ(s.cb_trips, 0) << "seed " << cfg.seed;
+  EXPECT_LT(s.outage_start_s, 0.0) << "seed " << cfg.seed;
+  EXPECT_FALSE(rig.power_path().battery().empty()) << "seed " << cfg.seed;
+
+  // Interactive pinned at peak under nominal conditions.
+  EXPECT_NEAR(s.avg_freq_interactive, 1.0, 1e-6) << "seed " << cfg.seed;
+
+  // Deadlines met.
+  EXPECT_TRUE(s.all_deadlines_met) << "seed " << cfg.seed;
+
+  // Energy conservation.
+  const auto& rec = rig.recorder();
+  const double demand = rec.series("total_power_w").integral();
+  const double supplied = rec.series("cb_power_w").integral() +
+                          rec.series("ups_power_w").integral() +
+                          rec.series("unserved_w").integral();
+  EXPECT_NEAR(demand, supplied, demand * 0.001 + 1.0) << "seed " << cfg.seed;
+
+  // CB thermal stress bounded away from the trip threshold.
+  EXPECT_LT(rec.series("cb_thermal_stress").max(), 0.95)
+      << "seed " << cfg.seed;
+}
+
+TEST_P(SeedSweep, CbPowerRespectsBudgetUpToActuationLag) {
+  RigConfig cfg = sweep_rig(2000 + static_cast<std::uint64_t>(GetParam()));
+  Rig rig(cfg);
+  rig.run();
+  const auto& cb = rig.recorder().series("cb_power_w");
+  const auto& budget = rig.recorder().series("cb_budget_w");
+  // One-tick control lag + duty quantization allow a small transient
+  // excursion; anything larger means the UPS controller failed.
+  double worst = 0.0;
+  for (std::size_t i = 0; i < cb.size(); ++i) {
+    worst = std::max(worst, cb[i] - budget[i]);
+  }
+  EXPECT_LT(worst, 0.05 * cfg.sprint.cb_rated_w) << "seed " << cfg.seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep, ::testing::Range(0, 8));
+
+class DeadlineSweep
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(DeadlineSweep, DeadlinesMetAcrossWorkloadsAndDeadlines) {
+  const auto [deadline_min, work_scale] = GetParam();
+  RigConfig cfg = sweep_rig(7);
+  cfg.batch_deadline_s = deadline_min * 60.0;
+  cfg.batch_work_scale = work_scale;
+  Rig rig(cfg);
+  rig.run();
+  const auto s = rig.summary();
+  EXPECT_TRUE(s.all_deadlines_met)
+      << "deadline " << deadline_min << " min, work scale " << work_scale;
+  EXPECT_EQ(s.cb_trips, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, DeadlineSweep,
+    ::testing::Combine(::testing::Values(9.0, 12.0, 15.0),
+                       ::testing::Values(0.4, 0.65)));
+
+class OverloadDegreeSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(OverloadDegreeSweep, SprintConSafeAtAnyOverloadDegree) {
+  // The allocator/safety pair must stay safe whatever overload degree the
+  // operator configures (windows are fixed at 150 s, so higher degrees
+  // approach the trip curve and the safety monitor must intervene).
+  RigConfig cfg = sweep_rig(11);
+  cfg.sprint.cb_overload_degree = GetParam();
+  Rig rig(cfg);
+  rig.run();
+  EXPECT_EQ(rig.summary().cb_trips, 0) << "degree " << GetParam();
+  EXPECT_LT(rig.summary().outage_start_s, 0.0) << "degree " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, OverloadDegreeSweep,
+                         ::testing::Values(1.0, 1.1, 1.25, 1.4, 1.6));
+
+
+TEST(ShortBurst, UnconstrainedPolicyStaysSafeForSubMinuteSprints) {
+  // Bursts under a minute run unconstrained (Section IV-A: "no need to
+  // constrain the CB overload"): the breaker alone carries the sprint,
+  // and its thermal mass absorbs the short overload without tripping.
+  RigConfig cfg = sweep_rig(5);
+  cfg.sprint.burst_duration_s = 40.0;
+  cfg.duration_s = 120.0;
+  cfg.batch_deadline_s = 110.0;
+  cfg.batch_work_scale = 0.05;  // short jobs for a short sprint
+  ASSERT_EQ(cfg.sprint.overload_policy(), core::OverloadPolicy::kUnconstrained);
+  Rig rig(cfg);
+  rig.run();
+  EXPECT_EQ(rig.summary().cb_trips, 0);
+  EXPECT_LT(rig.summary().outage_start_s, 0.0);
+  // Unconstrained: the UPS controller never discharges during the burst.
+  EXPECT_LT(rig.recorder().series("ups_power_w").mean_between(1.0, 39.0),
+            1.0);
+}
+
+TEST(ShortBurst, ContinuousPolicyForMediumBurstsStaysSafe) {
+  RigConfig cfg = sweep_rig(6);
+  cfg.sprint.burst_duration_s = 420.0;  // 7 minutes -> continuous overload
+  cfg.duration_s = 480.0;
+  cfg.batch_deadline_s = 400.0;
+  cfg.batch_work_scale = 0.3;
+  ASSERT_EQ(cfg.sprint.overload_policy(), core::OverloadPolicy::kContinuous);
+  Rig rig(cfg);
+  rig.run();
+  // 420 s of continuous overload exceeds the 170 s trip point; the safety
+  // monitor must stop the overload before the breaker trips.
+  EXPECT_EQ(rig.summary().cb_trips, 0);
+  EXPECT_LT(rig.summary().outage_start_s, 0.0);
+  EXPECT_TRUE(rig.summary().all_deadlines_met);
+}
+
+}  // namespace
+}  // namespace sprintcon::scenario

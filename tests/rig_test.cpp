@@ -1,0 +1,125 @@
+// Tests for the scenario rig construction and bookkeeping.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "scenario/rig.hpp"
+
+namespace sprintcon::scenario {
+namespace {
+
+RigConfig tiny() {
+  RigConfig cfg;
+  cfg.num_servers = 2;
+  cfg.sprint.cb_rated_w = 2.0 * 300.0 * (2.0 / 3.0);
+  cfg.ups_capacity_wh = 2.0 * 300.0 * (5.0 / 60.0);
+  cfg.duration_s = 120.0;
+  return cfg;
+}
+
+TEST(Rig, PolicyNames) {
+  EXPECT_STREQ(to_string(Policy::kSprintCon), "SprintCon");
+  EXPECT_STREQ(to_string(Policy::kSgct), "SGCT");
+  EXPECT_STREQ(to_string(Policy::kSgctV1), "SGCT-V1");
+  EXPECT_STREQ(to_string(Policy::kSgctV2), "SGCT-V2");
+}
+
+TEST(Rig, BuildsPaperTopology) {
+  RigConfig cfg;  // defaults: 16 servers, 4+4 cores
+  cfg.duration_s = 5.0;
+  Rig rig(cfg);
+  EXPECT_EQ(rig.rack().servers().size(), 16u);
+  EXPECT_EQ(rig.rack().batch_cores().size(), 64u);
+  EXPECT_DOUBLE_EQ(rig.power_path().battery().capacity_wh(), 400.0);
+  EXPECT_DOUBLE_EQ(rig.power_path().breaker().rated_power_w(), 3200.0);
+  EXPECT_NE(rig.sprintcon(), nullptr);
+  EXPECT_EQ(rig.sgct(), nullptr);
+}
+
+TEST(Rig, SgctPolicyInstantiatesBaseline) {
+  RigConfig cfg = tiny();
+  cfg.policy = Policy::kSgctV2;
+  Rig rig(cfg);
+  EXPECT_EQ(rig.sprintcon(), nullptr);
+  ASSERT_NE(rig.sgct(), nullptr);
+  EXPECT_EQ(rig.sgct()->variant(), baselines::SgctVariant::kV2);
+}
+
+TEST(Rig, RecordsAllStandardChannels) {
+  Rig rig(tiny());
+  rig.run();
+  for (const char* name :
+       {"total_power_w", "cb_power_w", "ups_power_w", "cb_budget_w",
+        "p_batch_target_w", "freq_interactive", "freq_batch", "battery_soc",
+        "cb_thermal_stress", "breaker_open", "unserved_w"}) {
+    EXPECT_TRUE(rig.recorder().has(name)) << name;
+    EXPECT_EQ(rig.recorder().series(name).size(), 120u) << name;
+  }
+}
+
+TEST(Rig, RunIsIdempotent) {
+  Rig rig(tiny());
+  rig.run();
+  const std::size_t n = rig.recorder().series("total_power_w").size();
+  rig.run();
+  EXPECT_EQ(rig.recorder().series("total_power_w").size(), n);
+}
+
+TEST(Rig, SummaryCountsJobs) {
+  RigConfig cfg = tiny();
+  cfg.duration_s = 30.0;
+  Rig rig(cfg);
+  rig.run();
+  const auto summary = rig.summary();
+  EXPECT_EQ(summary.jobs_total, 8u);
+  EXPECT_EQ(summary.jobs_completed, 0u);  // 30 s is far too short
+  EXPECT_FALSE(summary.all_deadlines_met);
+  EXPECT_EQ(summary.label, "SprintCon");
+}
+
+TEST(Rig, DeterministicAcrossRuns) {
+  RigConfig cfg = tiny();
+  Rig a(cfg), b(cfg);
+  a.run();
+  b.run();
+  const auto& sa = a.recorder().series("total_power_w");
+  const auto& sb = b.recorder().series("total_power_w");
+  ASSERT_EQ(sa.size(), sb.size());
+  for (std::size_t i = 0; i < sa.size(); ++i) EXPECT_DOUBLE_EQ(sa[i], sb[i]);
+}
+
+TEST(Rig, SeedChangesTrajectory) {
+  RigConfig cfg = tiny();
+  Rig a(cfg);
+  cfg.seed = 43;
+  Rig b(cfg);
+  a.run();
+  b.run();
+  const auto& sa = a.recorder().series("total_power_w");
+  const auto& sb = b.recorder().series("total_power_w");
+  double diff = 0.0;
+  for (std::size_t i = 0; i < sa.size(); ++i) diff += std::abs(sa[i] - sb[i]);
+  EXPECT_GT(diff, 1.0);
+}
+
+TEST(Rig, InvalidConfigThrows) {
+  RigConfig cfg = tiny();
+  cfg.num_servers = 0;
+  EXPECT_THROW(Rig{cfg}, InvalidArgumentError);
+  cfg = tiny();
+  cfg.interactive_cores_per_server = 99;
+  EXPECT_THROW(Rig{cfg}, InvalidArgumentError);
+  cfg = tiny();
+  cfg.batch_work_scale = 0.0;
+  EXPECT_THROW(Rig{cfg}, InvalidArgumentError);
+}
+
+TEST(Rig, RunPolicyConvenience) {
+  RigConfig cfg = tiny();
+  cfg.duration_s = 60.0;
+  const auto summary = run_policy(cfg);
+  EXPECT_EQ(summary.label, "SprintCon");
+  EXPECT_GT(summary.avg_total_power_w, 0.0);
+}
+
+}  // namespace
+}  // namespace sprintcon::scenario

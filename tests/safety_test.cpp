@@ -1,0 +1,108 @@
+// Tests for the sprint safety state machine (Section IV-C).
+#include "common/error.hpp"
+#include <gtest/gtest.h>
+
+#include "core/safety.hpp"
+#include "power/battery.hpp"
+
+namespace sprintcon::core {
+namespace {
+
+SprintConfig cfg() { return paper_config(); }
+
+power::CircuitBreaker cool_breaker() {
+  return power::CircuitBreaker(3200.0, power::TripCurve::bulletin_1489a());
+}
+
+power::CircuitBreaker hot_breaker() {
+  power::CircuitBreaker cb = cool_breaker();
+  // Drive stress above the near-trip margin without tripping.
+  while (cb.thermal_stress() < 0.95) cb.deliver(4000.0, 1.0);
+  return cb;
+}
+
+power::UpsBattery full_battery() { return power::UpsBattery(400.0, 4800.0); }
+
+power::UpsBattery low_battery() {
+  power::UpsBattery b = full_battery();
+  b.discharge(4800.0, 290.0);  // drain most of it
+  return b;
+}
+
+TEST(Safety, NominalStateIsSprinting) {
+  SafetyMonitor monitor(cfg());
+  auto cb = cool_breaker();
+  auto battery = full_battery();
+  EXPECT_EQ(monitor.update(cb, battery), SprintState::kSprinting);
+  EXPECT_FALSE(monitor.cb_protect());
+  EXPECT_FALSE(monitor.ups_conserve());
+}
+
+TEST(Safety, NearTripEntersCbProtect) {
+  SafetyMonitor monitor(cfg());
+  auto cb = hot_breaker();
+  auto battery = full_battery();
+  EXPECT_EQ(monitor.update(cb, battery), SprintState::kCbProtect);
+  EXPECT_TRUE(monitor.cb_protect());
+}
+
+TEST(Safety, CbProtectRearmsAfterCooling) {
+  SafetyMonitor monitor(cfg());
+  auto cb = hot_breaker();
+  auto battery = full_battery();
+  monitor.update(cb, battery);
+  ASSERT_TRUE(monitor.cb_protect());
+  // Cool the breaker below the re-arm threshold.
+  while (cb.thermal_stress() >= 0.29) cb.deliver(1000.0, 1.0);
+  EXPECT_EQ(monitor.update(cb, battery), SprintState::kSprinting);
+  EXPECT_FALSE(monitor.cb_protect());
+}
+
+TEST(Safety, CbProtectStaysEngagedWhileWarm) {
+  SafetyMonitor monitor(cfg());
+  auto cb = hot_breaker();
+  auto battery = full_battery();
+  monitor.update(cb, battery);
+  // Slight cooling, still above the re-arm threshold: flag holds.
+  cb.deliver(1000.0, 5.0);
+  EXPECT_EQ(monitor.update(cb, battery), SprintState::kCbProtect);
+}
+
+TEST(Safety, LowBatteryEntersConserveAndSticks) {
+  SafetyMonitor monitor(cfg());
+  auto cb = cool_breaker();
+  auto battery = low_battery();
+  EXPECT_EQ(monitor.update(cb, battery), SprintState::kUpsConserve);
+  // Conservation is sticky even if SOC would read higher later.
+  auto fresh = full_battery();
+  EXPECT_EQ(monitor.update(cb, fresh), SprintState::kUpsConserve);
+}
+
+TEST(Safety, BothEventsEndTheSprint) {
+  SafetyMonitor monitor(cfg());
+  auto cb = hot_breaker();
+  auto battery = low_battery();
+  EXPECT_EQ(monitor.update(cb, battery), SprintState::kEnded);
+  // Ended is terminal.
+  auto cool = cool_breaker();
+  auto fresh = full_battery();
+  EXPECT_EQ(monitor.update(cool, fresh), SprintState::kEnded);
+}
+
+TEST(Safety, OpenBreakerCountsAsCbEvent) {
+  SafetyMonitor monitor(cfg());
+  auto cb = cool_breaker();
+  while (!cb.open()) cb.deliver(6000.0, 1.0);
+  auto battery = full_battery();
+  EXPECT_EQ(monitor.update(cb, battery), SprintState::kCbProtect);
+}
+
+TEST(Safety, StateNames) {
+  EXPECT_STREQ(to_string(SprintState::kSprinting), "sprinting");
+  EXPECT_STREQ(to_string(SprintState::kCbProtect), "cb-protect");
+  EXPECT_STREQ(to_string(SprintState::kUpsConserve), "ups-conserve");
+  EXPECT_STREQ(to_string(SprintState::kEnded), "ended");
+}
+
+}  // namespace
+}  // namespace sprintcon::core

@@ -1,0 +1,301 @@
+// Tests for the server substrate: platform calibration, power models,
+// fans, cores, servers, rack aggregation.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "server/rack.hpp"
+#include "sim/clock.hpp"
+#include "workload/batch_profile.hpp"
+
+namespace sprintcon::server {
+namespace {
+
+using workload::BatchJob;
+using workload::CompletionMode;
+using workload::InteractiveTraceConfig;
+using workload::InteractiveTraceGenerator;
+
+CpuCore make_interactive(const PlatformSpec& spec, std::uint64_t seed = 1) {
+  return CpuCore(spec.freq_min, spec.freq_max,
+                 InteractiveTraceGenerator(InteractiveTraceConfig{}, Rng(seed)));
+}
+
+CpuCore make_batch(const PlatformSpec& spec, std::uint64_t seed = 2,
+                   double work_s = 300.0) {
+  auto job = std::make_unique<BatchJob>(
+      workload::spec2006_profile("401.bzip2"), /*deadline_s=*/720.0, work_s,
+      CompletionMode::kRunOnce, Rng(seed));
+  return CpuCore(spec.freq_min, spec.freq_max, std::move(job));
+}
+
+Server make_server(const PlatformSpec& spec, std::size_t interactive = 4) {
+  std::vector<CpuCore> cores;
+  for (std::size_t c = 0; c < spec.cores_per_server; ++c) {
+    if (c < interactive) {
+      cores.push_back(make_interactive(spec, 10 + c));
+    } else {
+      cores.push_back(make_batch(spec, 20 + c));
+    }
+  }
+  return Server(spec, std::move(cores), Rng(77));
+}
+
+// --- platform ----------------------------------------------------------------
+
+TEST(Platform, PaperNumbers) {
+  const PlatformSpec spec = paper_platform();
+  EXPECT_EQ(spec.cores_per_server, 8u);
+  EXPECT_DOUBLE_EQ(spec.idle_power_w, 150.0);
+  EXPECT_DOUBLE_EQ(spec.peak_power_w, 300.0);
+  EXPECT_DOUBLE_EQ(spec.freq_min, 0.2);  // 400 MHz / 2.0 GHz
+}
+
+TEST(Platform, DerivedCoefficientsAddUp) {
+  const PlatformSpec spec = paper_platform();
+  // Linear + cubic coefficients must reproduce the core's peak dynamic.
+  EXPECT_NEAR(spec.core_linear_coeff_w() + spec.core_cubic_coeff_w(),
+              spec.core_dynamic_peak_w(), 1e-12);
+  // All cores at peak + idle + fan = rated peak power.
+  const double total = spec.idle_power_w + spec.fan_peak_power_w +
+                       spec.core_dynamic_peak_w() *
+                           static_cast<double>(spec.cores_per_server);
+  EXPECT_NEAR(total, spec.peak_power_w, 1e-9);
+}
+
+TEST(Platform, InvalidSpecThrows) {
+  PlatformSpec spec = paper_platform();
+  spec.peak_power_w = 100.0;  // below idle
+  EXPECT_THROW(spec.validate(), sprintcon::InvalidArgumentError);
+  spec = paper_platform();
+  spec.freq_min = 0.0;
+  EXPECT_THROW(spec.validate(), sprintcon::InvalidArgumentError);
+}
+
+// --- power models ---------------------------------------------------------
+
+TEST(MeasurementModel, ZeroUtilizationMeansZeroDynamic) {
+  const MeasurementPowerModel m(paper_platform());
+  EXPECT_DOUBLE_EQ(m.core_dynamic_w(1.0, 0.0), 0.0);
+}
+
+TEST(MeasurementModel, PeakMatchesCalibration) {
+  const PlatformSpec spec = paper_platform();
+  const MeasurementPowerModel m(spec);
+  EXPECT_NEAR(m.core_dynamic_w(1.0, 1.0), spec.core_dynamic_peak_w(), 1e-12);
+}
+
+TEST(MeasurementModel, MonotoneInFrequencyAndUtilization) {
+  const MeasurementPowerModel m(paper_platform());
+  double prev = -1.0;
+  for (double f = 0.2; f <= 1.0; f += 0.1) {
+    const double p = m.core_dynamic_w(f, 0.8);
+    EXPECT_GT(p, prev);
+    prev = p;
+  }
+  EXPECT_GT(m.core_dynamic_w(0.5, 0.9), m.core_dynamic_w(0.5, 0.4));
+}
+
+TEST(MeasurementModel, SuperlinearAtHighFrequency) {
+  // The cubic term makes the last 20% of frequency cost more than the
+  // first 20% — the physics behind Figure 1.
+  const MeasurementPowerModel m(paper_platform());
+  const double low = m.core_dynamic_w(0.4, 1.0) - m.core_dynamic_w(0.2, 1.0);
+  const double high = m.core_dynamic_w(1.0, 1.0) - m.core_dynamic_w(0.8, 1.0);
+  EXPECT_GT(high, low);
+}
+
+TEST(LinearModel, GainAndConstantPositive) {
+  const LinearPowerModel m(paper_platform());
+  EXPECT_GT(m.gain_w_per_f(), 0.0);
+  EXPECT_NEAR(m.constant_w(), 150.0 / 8.0, 1e-12);
+  EXPECT_GT(m.interactive_gain_w_per_util(), 0.0);
+}
+
+TEST(LinearModel, InteractivePowerAtFullUtilMatchesPeakDynamic) {
+  const PlatformSpec spec = paper_platform();
+  const LinearPowerModel m(spec);
+  EXPECT_NEAR(m.interactive_power_w(1.0) - m.constant_w(),
+              spec.core_dynamic_peak_w(), 1e-9);
+}
+
+TEST(LinearModel, DivergesFromMeasurementModel) {
+  // The controller model must NOT match the plant exactly — the paper's
+  // design requires a modeling error for the feedback loop to absorb.
+  const PlatformSpec spec = paper_platform();
+  const LinearPowerModel lin(spec);
+  const MeasurementPowerModel meas(spec);
+  double max_gap = 0.0;
+  for (double f = 0.2; f <= 1.0; f += 0.05) {
+    const double gap = std::abs(lin.core_power_w(f) - lin.constant_w() -
+                                meas.core_dynamic_w(f, 0.95));
+    max_gap = std::max(max_gap, gap);
+  }
+  EXPECT_GT(max_gap, 0.5);
+}
+
+// --- fan ---------------------------------------------------------------------
+
+TEST(Fan, TracksLoadWithLag) {
+  FanModel fan(6.0, 8.0, Rng(3));
+  // Step the server from idle to full power; the fan must rise over time.
+  double first = fan.step(1.0, 300.0, 150.0, 300.0);
+  double last = first;
+  for (int i = 0; i < 60; ++i) last = fan.step(1.0, 300.0, 150.0, 300.0);
+  EXPECT_GT(last, first);
+  EXPECT_LE(last, 6.0);
+  EXPECT_GE(last, 0.0);
+}
+
+TEST(Fan, BoundedByPeak) {
+  FanModel fan(6.0, 2.0, Rng(4));
+  for (int i = 0; i < 200; ++i) {
+    const double p = fan.step(1.0, 400.0, 150.0, 300.0);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 6.0);
+  }
+}
+
+// --- core ----------------------------------------------------------------------
+
+TEST(Core, FrequencyClampsToBounds) {
+  const PlatformSpec spec = paper_platform();
+  CpuCore core = make_batch(spec);
+  core.set_freq(5.0);
+  EXPECT_DOUBLE_EQ(core.freq(), spec.freq_max);
+  core.set_freq(0.01);
+  EXPECT_DOUBLE_EQ(core.freq(), spec.freq_min);
+}
+
+TEST(Core, InteractiveStartsAtPeakBatchAtFloor) {
+  const PlatformSpec spec = paper_platform();
+  EXPECT_DOUBLE_EQ(make_interactive(spec).freq(), spec.freq_max);
+  EXPECT_DOUBLE_EQ(make_batch(spec).freq(), spec.freq_min);
+}
+
+TEST(Core, StepUpdatesUtilizationByRole) {
+  const PlatformSpec spec = paper_platform();
+  CpuCore inter = make_interactive(spec);
+  inter.step(1.0, 0.0);
+  EXPECT_GT(inter.utilization(), 0.0);
+  EXPECT_EQ(inter.job(), nullptr);
+
+  CpuCore batch = make_batch(spec);
+  batch.set_freq(1.0);
+  batch.step(1.0, 0.0);
+  EXPECT_GT(batch.utilization(), 0.8);
+  EXPECT_GT(batch.counters().cycles, 0.0);
+  ASSERT_NE(batch.job(), nullptr);
+  EXPECT_GT(batch.job()->progress(), 0.0);
+}
+
+// --- server -----------------------------------------------------------------
+
+TEST(Server, PowerBetweenIdleAndPeak) {
+  const PlatformSpec spec = paper_platform();
+  Server server = make_server(spec);
+  for (int i = 0; i < 30; ++i) server.step(1.0, i);
+  EXPECT_GT(server.power_w(), spec.idle_power_w);
+  EXPECT_LT(server.power_w(), spec.peak_power_w + 1.0);
+}
+
+TEST(Server, PowerSplitsByClass) {
+  const PlatformSpec spec = paper_platform();
+  Server server = make_server(spec);
+  server.step(1.0, 0.0);
+  EXPECT_GT(server.interactive_dynamic_w(), 0.0);
+  EXPECT_GT(server.batch_dynamic_w(), 0.0);
+  EXPECT_GE(server.fan_power_w(), 0.0);
+}
+
+TEST(Server, PoweredOffConsumesNothingAndHaltsProgress) {
+  const PlatformSpec spec = paper_platform();
+  Server server = make_server(spec);
+  server.step(1.0, 0.0);
+  const double progress =
+      server.cores().back().job()->progress();
+  server.set_powered(false);
+  server.step(1.0, 1.0);
+  EXPECT_DOUBLE_EQ(server.power_w(), 0.0);
+  EXPECT_DOUBLE_EQ(server.mean_freq(CoreRole::kBatch), 0.0);
+  EXPECT_DOUBLE_EQ(server.cores().back().job()->progress(), progress);
+}
+
+TEST(Server, WrongCoreCountThrows) {
+  const PlatformSpec spec = paper_platform();
+  std::vector<CpuCore> cores;
+  cores.push_back(make_interactive(spec));
+  EXPECT_THROW(Server(spec, std::move(cores), Rng(1)),
+               sprintcon::InvalidArgumentError);
+}
+
+TEST(Server, CountsRoles) {
+  const PlatformSpec spec = paper_platform();
+  Server server = make_server(spec, 3);
+  EXPECT_EQ(server.count(CoreRole::kInteractive), 3u);
+  EXPECT_EQ(server.count(CoreRole::kBatch), 5u);
+}
+
+// --- rack -------------------------------------------------------------------
+
+Rack make_rack(std::size_t n_servers = 4) {
+  const PlatformSpec spec = paper_platform();
+  std::vector<Server> servers;
+  for (std::size_t s = 0; s < n_servers; ++s)
+    servers.push_back(make_server(spec));
+  return Rack(std::move(servers));
+}
+
+TEST(Rack, AggregatesPower) {
+  Rack rack = make_rack(4);
+  sim::SimClock clock(1.0);
+  rack.step(clock);
+  EXPECT_GT(rack.total_power_w(), 4 * 150.0);
+  EXPECT_LT(rack.total_power_w(), 4 * 301.0);
+}
+
+TEST(Rack, EnumeratesBatchCores) {
+  Rack rack = make_rack(3);
+  EXPECT_EQ(rack.batch_cores().size(), 3u * 4u);
+  for (const auto& ref : rack.batch_cores()) {
+    EXPECT_TRUE(rack.core(ref).is_batch());
+  }
+}
+
+TEST(Rack, MeanFreqByRole) {
+  Rack rack = make_rack(2);
+  EXPECT_DOUBLE_EQ(rack.mean_freq(CoreRole::kInteractive), 1.0);
+  EXPECT_DOUBLE_EQ(rack.mean_freq(CoreRole::kBatch), 0.2);
+}
+
+TEST(Rack, ForEachCoreAppliesByRole) {
+  Rack rack = make_rack(2);
+  rack.for_each_core(CoreRole::kBatch,
+                     [](CpuCore& c) { c.set_freq(0.7); });
+  EXPECT_NEAR(rack.mean_freq(CoreRole::kBatch), 0.7, 1e-12);
+  EXPECT_DOUBLE_EQ(rack.mean_freq(CoreRole::kInteractive), 1.0);
+}
+
+TEST(Rack, PowerOffAll) {
+  Rack rack = make_rack(2);
+  rack.set_all_powered(false);
+  EXPECT_FALSE(rack.any_powered());
+  sim::SimClock clock(1.0);
+  rack.step(clock);
+  EXPECT_DOUBLE_EQ(rack.total_power_w(), 0.0);
+}
+
+TEST(Rack, InvalidRefThrows) {
+  Rack rack = make_rack(1);
+  EXPECT_THROW(rack.core({5, 0}), sprintcon::InvalidArgumentError);
+  EXPECT_THROW(rack.core({0, 99}), sprintcon::InvalidArgumentError);
+}
+
+TEST(Rack, EmptyRackThrows) {
+  EXPECT_THROW(Rack(std::vector<Server>{}), sprintcon::InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace sprintcon::server

@@ -1,0 +1,137 @@
+// Coordinator-level unit tests for SprintConController and the common CLI
+// helpers.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "common/cli.hpp"
+#include "common/error.hpp"
+#include "scenario/rig.hpp"
+
+namespace sprintcon {
+namespace {
+
+scenario::RigConfig small_rig() {
+  scenario::RigConfig cfg;
+  cfg.num_servers = 2;
+  cfg.sprint.cb_rated_w = 2.0 * 300.0 * (2.0 / 3.0);
+  cfg.ups_capacity_wh = 50.0;
+  cfg.completion = workload::CompletionMode::kRepeat;
+  return cfg;
+}
+
+// --- SprintConController ------------------------------------------------------
+
+TEST(SprintCon, CbTargetFollowsTheOverloadSchedule) {
+  scenario::Rig rig(small_rig());
+  rig.run_until(100.0);  // inside the first overload window
+  EXPECT_DOUBLE_EQ(rig.sprintcon()->p_cb_effective_w(),
+                   rig.config().sprint.cb_overload_w());
+  rig.run_until(200.0);  // recovery
+  EXPECT_DOUBLE_EQ(rig.sprintcon()->p_cb_effective_w(),
+                   rig.config().sprint.cb_rated_w);
+  rig.run_until(460.0);  // second overload window
+  EXPECT_DOUBLE_EQ(rig.sprintcon()->p_cb_effective_w(),
+                   rig.config().sprint.cb_overload_w());
+}
+
+TEST(SprintCon, UpsCommandEngagesDuringRecovery) {
+  scenario::Rig rig(small_rig());
+  rig.run_until(450.0);
+  // During the recovery phase the rack demand exceeds the rated CB, so
+  // the UPS command must have been nonzero at some point.
+  const auto& ups = rig.recorder().series("ups_power_w");
+  EXPECT_GT(ups.mean_between(160.0, 440.0), 1.0);
+  // And during the overload window it is mostly idle.
+  EXPECT_LT(ups.mean_between(30.0, 140.0), ups.mean_between(160.0, 440.0));
+}
+
+TEST(SprintCon, PBatchTargetTracksTheScheduleShape) {
+  scenario::Rig rig(small_rig());
+  rig.run();
+  const auto& target = rig.recorder().series("p_batch_target_w");
+  // Budget during overload windows exceeds the recovery budget.
+  EXPECT_GT(target.mean_between(60.0, 140.0),
+            target.mean_between(200.0, 440.0));
+}
+
+TEST(SprintCon, AccessorsExposeSubsystems) {
+  scenario::Rig rig(small_rig());
+  rig.run_until(50.0);
+  auto* ctrl = rig.sprintcon();
+  ASSERT_NE(ctrl, nullptr);
+  EXPECT_EQ(ctrl->state(), core::SprintState::kSprinting);
+  EXPECT_FALSE(ctrl->outage());
+  EXPECT_GE(ctrl->ups_command_w(), 0.0);
+  EXPECT_GT(ctrl->p_batch_w(), 0.0);
+  EXPECT_EQ(ctrl->config().cb_rated_w, rig.config().sprint.cb_rated_w);
+  // Allocator and server controller are reachable for advanced tuning.
+  EXPECT_GT(ctrl->allocator().targets(0.0).p_cb_w, 0.0);
+  EXPECT_GT(ctrl->server_controller().model().gain_w_per_f(), 0.0);
+}
+
+TEST(SprintCon, NameIdentifiesTheComponent) {
+  scenario::Rig rig(small_rig());
+  EXPECT_EQ(rig.sprintcon()->name(), "sprintcon");
+}
+
+// --- CLI helpers ----------------------------------------------------------------
+
+TEST(Cli, ParsesCsvFlagForms) {
+  const char* argv1[] = {"bench", "--csv", "/tmp/x"};
+  auto opts = parse_bench_options(3, argv1);
+  ASSERT_TRUE(opts.csv_dir.has_value());
+  EXPECT_EQ(*opts.csv_dir, "/tmp/x");
+
+  const char* argv2[] = {"bench", "--csv=/tmp/y"};
+  opts = parse_bench_options(2, argv2);
+  ASSERT_TRUE(opts.csv_dir.has_value());
+  EXPECT_EQ(*opts.csv_dir, "/tmp/y");
+}
+
+TEST(Cli, CollectsPositionalsAndHelp) {
+  const char* argv[] = {"bench", "12", "--help", "extra"};
+  const auto opts = parse_bench_options(4, argv);
+  EXPECT_TRUE(opts.help);
+  ASSERT_EQ(opts.positional.size(), 2u);
+  EXPECT_EQ(opts.positional[0], "12");
+  EXPECT_EQ(opts.positional[1], "extra");
+  EXPECT_FALSE(opts.csv_dir.has_value());
+}
+
+TEST(Cli, MissingCsvValueThrows) {
+  const char* argv[] = {"bench", "--csv"};
+  EXPECT_THROW(parse_bench_options(2, argv), InvalidArgumentError);
+}
+
+TEST(Cli, MaybeWriteCsvIsNoOpWithoutFlag) {
+  BenchOptions opts;
+  TimeSeries ts("x", 1.0);
+  ts.push(1.0);
+  EXPECT_TRUE(maybe_write_csv(opts, "nothing", {&ts}).empty());
+}
+
+TEST(Cli, MaybeWriteCsvCreatesArtifact) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() / "sprintcon_cli_test_artifacts";
+  fs::remove_all(dir);
+
+  BenchOptions opts;
+  opts.csv_dir = dir.string();
+  TimeSeries ts("chan", 1.0);
+  ts.push(1.0);
+  ts.push(2.0);
+  const std::string path = maybe_write_csv(opts, "unit", {&ts});
+  ASSERT_FALSE(path.empty());
+  std::ifstream in(path);
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header, "time_s,chan");
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace sprintcon

@@ -1,0 +1,176 @@
+// Tests for the per-core thermal model and the controller's thermal guard.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "common/error.hpp"
+#include "core/server_controller.hpp"
+#include "server/thermal.hpp"
+#include "sim/clock.hpp"
+#include "workload/batch_profile.hpp"
+
+namespace sprintcon::server {
+namespace {
+
+ThermalSpec default_spec() { return ThermalSpec{}; }
+
+TEST(Thermal, StartsAtAmbient) {
+  CoreThermalModel model(default_spec());
+  EXPECT_DOUBLE_EQ(model.temperature_c(), 25.0);
+  EXPECT_FALSE(model.above_throttle());
+}
+
+TEST(Thermal, ApproachesSteadyStateExponentially) {
+  CoreThermalModel model(default_spec());
+  const double power = 10.0;
+  const double target = model.steady_state_c(power);
+  for (int i = 0; i < 200; ++i) model.step(power, 1.0);
+  EXPECT_NEAR(model.temperature_c(), target, 0.01);
+}
+
+TEST(Thermal, OneTimeConstantReaches63Percent) {
+  ThermalSpec spec = default_spec();
+  spec.time_constant_s = 10.0;
+  CoreThermalModel model(spec);
+  const double power = 20.0;
+  for (int i = 0; i < 10; ++i) model.step(power, 1.0);
+  const double rise = model.temperature_c() - spec.ambient_c;
+  const double full = model.steady_state_c(power) - spec.ambient_c;
+  EXPECT_NEAR(rise / full, 1.0 - std::exp(-1.0), 0.02);
+}
+
+TEST(Thermal, CoolsBackToAmbient) {
+  CoreThermalModel model(default_spec());
+  for (int i = 0; i < 100; ++i) model.step(25.0, 1.0);
+  EXPECT_GT(model.temperature_c(), 50.0);
+  for (int i = 0; i < 300; ++i) model.step(0.0, 1.0);
+  EXPECT_NEAR(model.temperature_c(), 25.0, 0.1);
+}
+
+TEST(Thermal, DefaultCalibrationSustainsPeakPower) {
+  // The paper platform's peak core power (18 W) must be thermally
+  // sustainable under nominal cooling — sprinting is breaker-limited, not
+  // thermally limited, in this evaluation.
+  const CoreThermalModel model(default_spec());
+  const double peak_core_w = paper_platform().core_dynamic_peak_w();
+  EXPECT_GT(model.sustainable_power_w(), peak_core_w);
+}
+
+TEST(Thermal, DegradedCoolingThrottles) {
+  ThermalSpec spec = default_spec();
+  spec.resistance_c_per_w = 4.0;  // failed fan: 18 W -> 97 C steady state
+  CoreThermalModel model(spec);
+  for (int i = 0; i < 300; ++i) model.step(18.0, 1.0);
+  EXPECT_TRUE(model.above_throttle());
+  EXPECT_TRUE(model.critical());
+}
+
+TEST(Thermal, InvalidSpecThrows) {
+  ThermalSpec spec = default_spec();
+  spec.throttle_temp_c = 20.0;  // below ambient
+  EXPECT_THROW(CoreThermalModel{spec}, sprintcon::InvalidArgumentError);
+  spec = default_spec();
+  spec.time_constant_s = 0.0;
+  EXPECT_THROW(CoreThermalModel{spec}, sprintcon::InvalidArgumentError);
+}
+
+TEST(Thermal, StepInputValidation) {
+  CoreThermalModel model(default_spec());
+  EXPECT_THROW(model.step(-1.0, 1.0), sprintcon::InvalidArgumentError);
+  EXPECT_THROW(model.step(1.0, 0.0), sprintcon::InvalidArgumentError);
+}
+
+// --- integration with CpuCore / controller ----------------------------------
+
+std::unique_ptr<Rack> hot_rack() {
+  // One server, degraded cooling on the batch cores.
+  const PlatformSpec spec = paper_platform();
+  Rng rng(321);
+  std::vector<CpuCore> cores;
+  for (std::size_t c = 0; c < spec.cores_per_server; ++c) {
+    if (c < 4) {
+      cores.emplace_back(spec.freq_min, spec.freq_max,
+                         workload::InteractiveTraceGenerator(
+                             workload::InteractiveTraceConfig{}, rng.split()));
+    } else {
+      cores.emplace_back(spec.freq_min, spec.freq_max,
+                         std::make_unique<workload::BatchJob>(
+                             workload::spec2006_profile("444.namd"), 900.0,
+                             1e6, workload::CompletionMode::kRunOnce,
+                             rng.split()));
+    }
+  }
+  std::vector<Server> servers;
+  servers.emplace_back(spec, std::move(cores), rng.split());
+  auto rack = std::make_unique<Rack>(std::move(servers));
+  ThermalSpec hot;
+  hot.resistance_c_per_w = 4.0;  // degraded cooling
+  for (Server& s : rack->servers())
+    for (CpuCore& c : s.cores()) c.attach_thermal(hot);
+  return rack;
+}
+
+TEST(ThermalGuard, BacksOffHotCores) {
+  auto rack = hot_rack();
+  core::SprintConfig cfg = core::paper_config();
+  cfg.thermal_guard = true;
+  core::ServerPowerController ctrl(cfg, *rack,
+                                   LinearPowerModel(paper_platform()));
+  ctrl.pin_interactive_at_peak();
+  sim::SimClock clock(1.0);
+  double max_temp = 0.0;
+  for (int t = 0; t < 600; ++t) {
+    rack->step(clock);
+    if (clock.every(cfg.control_period_s)) {
+      // A huge budget: without the guard every core would pin at peak.
+      ctrl.update(rack->total_power_w(), 5000.0, clock.now_s());
+    }
+    for (const auto& ref : rack->batch_cores()) {
+      max_temp = std::max(max_temp, rack->core(ref).temperature_c());
+    }
+    clock.advance();
+  }
+  // The guard must keep the cores out of the critical region.
+  EXPECT_LT(max_temp, ThermalSpec{}.critical_temp_c + 2.0);
+  // And the batch cores cannot be running at peak.
+  EXPECT_LT(rack->mean_freq(CoreRole::kBatch), 0.99);
+}
+
+TEST(ThermalGuard, DisabledGuardLetsCoresOverheat) {
+  auto rack = hot_rack();
+  core::SprintConfig cfg = core::paper_config();
+  cfg.thermal_guard = false;
+  core::ServerPowerController ctrl(cfg, *rack,
+                                   LinearPowerModel(paper_platform()));
+  sim::SimClock clock(1.0);
+  for (int t = 0; t < 600; ++t) {
+    rack->step(clock);
+    if (clock.every(cfg.control_period_s)) {
+      ctrl.update(rack->total_power_w(), 5000.0, clock.now_s());
+    }
+    clock.advance();
+  }
+  bool any_critical = false;
+  for (const auto& ref : rack->batch_cores()) {
+    const CpuCore& core = rack->core(ref);
+    any_critical = any_critical ||
+                   core.temperature_c() >= ThermalSpec{}.critical_temp_c;
+  }
+  EXPECT_TRUE(any_critical);
+}
+
+TEST(ThermalGuard, CoreWithoutModelNeverThrottles) {
+  const PlatformSpec spec = paper_platform();
+  CpuCore core(spec.freq_min, spec.freq_max,
+               std::make_unique<workload::BatchJob>(
+                   workload::spec2006_profile("444.namd"), 900.0, 100.0,
+                   workload::CompletionMode::kRunOnce, Rng(1)));
+  EXPECT_FALSE(core.has_thermal());
+  EXPECT_FALSE(core.thermally_throttled());
+  core.update_thermal(100.0, 1.0);  // no-op
+  EXPECT_DOUBLE_EQ(core.temperature_c(), ThermalSpec{}.ambient_c);
+}
+
+}  // namespace
+}  // namespace sprintcon::server

@@ -1,0 +1,125 @@
+// Tests for recorded-trace import/export and replay.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "workload/trace_io.hpp"
+
+namespace sprintcon::workload {
+namespace {
+
+TEST(TraceIo, ReadsSingleColumn) {
+  std::istringstream in("0.1\n0.5\n0.9\n");
+  const RecordedTrace trace = read_trace_csv(in, 2.0);
+  ASSERT_EQ(trace.samples.size(), 3u);
+  EXPECT_DOUBLE_EQ(trace.dt_s, 2.0);
+  EXPECT_DOUBLE_EQ(trace.samples[1], 0.5);
+  EXPECT_DOUBLE_EQ(trace.duration_s(), 6.0);
+  EXPECT_NEAR(trace.mean(), 0.5, 1e-12);
+}
+
+TEST(TraceIo, ReadsTwoColumnWithInferredDt) {
+  std::istringstream in("0,0.2\n0.5,0.4\n1.0,0.6\n");
+  const RecordedTrace trace = read_trace_csv(in);
+  ASSERT_EQ(trace.samples.size(), 3u);
+  EXPECT_DOUBLE_EQ(trace.dt_s, 0.5);
+  EXPECT_DOUBLE_EQ(trace.samples[2], 0.6);
+}
+
+TEST(TraceIo, SkipsHeaderAndComments) {
+  std::istringstream in("time_s,value\n# a comment\n0,0.3\n1,0.7\n");
+  const RecordedTrace trace = read_trace_csv(in);
+  ASSERT_EQ(trace.samples.size(), 2u);
+  EXPECT_DOUBLE_EQ(trace.samples[0], 0.3);
+}
+
+TEST(TraceIo, RejectsMalformedMidFileRow) {
+  std::istringstream in("0.1\nnot-a-number\n0.3\n");
+  EXPECT_THROW(read_trace_csv(in), InvalidArgumentError);
+}
+
+TEST(TraceIo, RejectsNonUniformTimes) {
+  std::istringstream in("0,1\n1,2\n3,3\n");
+  EXPECT_THROW(read_trace_csv(in), InvalidArgumentError);
+}
+
+TEST(TraceIo, RejectsInconsistentColumns) {
+  std::istringstream in("0,1\n2\n");
+  EXPECT_THROW(read_trace_csv(in), InvalidArgumentError);
+}
+
+TEST(TraceIo, RejectsEmptyInput) {
+  std::istringstream in("# only a comment\n");
+  EXPECT_THROW(read_trace_csv(in), InvalidArgumentError);
+}
+
+TEST(TraceIo, MissingFileThrows) {
+  EXPECT_THROW(read_trace_csv_file("/nonexistent/trace.csv"),
+               InvalidArgumentError);
+}
+
+TEST(TraceIo, WriteReadRoundTrip) {
+  RecordedTrace trace;
+  trace.dt_s = 0.5;
+  trace.samples = {0.1, 0.9, 0.4};
+  std::ostringstream out;
+  write_trace_csv(out, trace);
+  std::istringstream in(out.str());
+  const RecordedTrace back = read_trace_csv(in);
+  ASSERT_EQ(back.samples.size(), trace.samples.size());
+  EXPECT_DOUBLE_EQ(back.dt_s, trace.dt_s);
+  for (std::size_t i = 0; i < trace.samples.size(); ++i)
+    EXPECT_DOUBLE_EQ(back.samples[i], trace.samples[i]);
+}
+
+RecordedTrace ramp_trace() {
+  RecordedTrace trace;
+  trace.dt_s = 1.0;
+  trace.samples = {0.0, 0.5, 1.0, 0.5};
+  return trace;
+}
+
+TEST(Replay, InterpolatesBetweenSamples) {
+  ReplayUtilization replay(ramp_trace());
+  EXPECT_NEAR(replay.step(0.5), 0.25, 1e-9);  // halfway 0.0 -> 0.5
+  EXPECT_NEAR(replay.step(0.5), 0.5, 1e-9);
+  EXPECT_NEAR(replay.step(1.0), 1.0, 1e-9);
+}
+
+TEST(Replay, LoopsAroundTheEnd) {
+  ReplayUtilization replay(ramp_trace(), 1.0, /*loop=*/true);
+  for (int i = 0; i < 4; ++i) replay.step(1.0);  // back to position 4 == 0
+  EXPECT_NEAR(replay.utilization(), 0.0, 1e-9);
+  replay.step(1.0);
+  EXPECT_NEAR(replay.utilization(), 0.5, 1e-9);
+}
+
+TEST(Replay, HoldsLastValueWithoutLoop) {
+  ReplayUtilization replay(ramp_trace(), 1.0, /*loop=*/false);
+  for (int i = 0; i < 10; ++i) replay.step(1.0);
+  EXPECT_NEAR(replay.utilization(), 0.5, 1e-9);  // last sample
+}
+
+TEST(Replay, ScaleAndClamp) {
+  ReplayUtilization replay(ramp_trace(), 2.0);
+  replay.step(2.0);  // raw value 1.0, scaled 2.0 -> clamped 1.0
+  EXPECT_DOUBLE_EQ(replay.utilization(), 1.0);
+}
+
+TEST(Replay, OffsetStartsMidTrace) {
+  ReplayUtilization replay(ramp_trace(), 1.0, true, 2.0);
+  EXPECT_NEAR(replay.utilization(), 1.0, 1e-9);  // sample at t=2
+}
+
+TEST(Replay, InvalidArgumentsThrow) {
+  EXPECT_THROW(ReplayUtilization(RecordedTrace{}), InvalidArgumentError);
+  EXPECT_THROW(ReplayUtilization(ramp_trace(), 0.0), InvalidArgumentError);
+  EXPECT_THROW(ReplayUtilization(ramp_trace(), 1.0, true, -1.0),
+               InvalidArgumentError);
+  ReplayUtilization replay(ramp_trace());
+  EXPECT_THROW(replay.step(0.0), InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace sprintcon::workload

@@ -1,0 +1,142 @@
+// Tests for rainflow cycle counting and Miner's-rule battery wear.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "power/battery.hpp"
+#include "power/wear.hpp"
+
+namespace sprintcon::power {
+namespace {
+
+double total_count(const std::vector<RainflowCycle>& cycles) {
+  double c = 0.0;
+  for (const auto& cy : cycles) c += cy.count;
+  return c;
+}
+
+// --- turning points ---------------------------------------------------------
+
+TEST(TurningPoints, ExtractsExtrema) {
+  const auto pts = turning_points({0.0, 1.0, 2.0, 1.0, 0.0, 3.0});
+  const std::vector<double> expected{0.0, 2.0, 0.0, 3.0};
+  EXPECT_EQ(pts, expected);
+}
+
+TEST(TurningPoints, CollapsesPlateaus) {
+  const auto pts = turning_points({0.0, 2.0, 2.0, 2.0, 1.0});
+  const std::vector<double> expected{0.0, 2.0, 1.0};
+  EXPECT_EQ(pts, expected);
+}
+
+TEST(TurningPoints, MonotonicKeepsEndpointsOnly) {
+  const auto pts = turning_points({0.0, 1.0, 2.0, 3.0});
+  const std::vector<double> expected{0.0, 3.0};
+  EXPECT_EQ(pts, expected);
+}
+
+TEST(TurningPoints, EmptyAndSingle) {
+  EXPECT_TRUE(turning_points({}).empty());
+  EXPECT_EQ(turning_points({1.0}).size(), 1u);
+}
+
+// --- rainflow ------------------------------------------------------------------
+
+TEST(Rainflow, AstmE1049ReferenceSequence) {
+  // The classic ASTM E1049 example: peaks/valleys
+  // -2, 1, -3, 5, -1, 3, -4, 4, -2.
+  // Expected: one full cycle of range 4 (the -1/3 pair) and half cycles of
+  // ranges 3, 4, 8, 9, 8, 6.
+  const std::vector<double> series{-2, 1, -3, 5, -1, 3, -4, 4, -2};
+  const auto cycles = rainflow_cycles(series);
+
+  double full_4 = 0.0;
+  std::vector<double> half_depths;
+  for (const auto& c : cycles) {
+    if (c.count == 1.0) {
+      EXPECT_DOUBLE_EQ(c.depth, 4.0);
+      full_4 += 1.0;
+    } else {
+      half_depths.push_back(c.depth);
+    }
+  }
+  EXPECT_DOUBLE_EQ(full_4, 1.0);
+  std::sort(half_depths.begin(), half_depths.end());
+  const std::vector<double> expected{3.0, 4.0, 6.0, 8.0, 8.0, 9.0};
+  EXPECT_EQ(half_depths, expected);
+}
+
+TEST(Rainflow, SingleDischargeIsOneHalfCycle) {
+  const auto cycles = rainflow_cycles({1.0, 0.9, 0.8, 0.7});
+  ASSERT_EQ(cycles.size(), 1u);
+  EXPECT_NEAR(cycles[0].depth, 0.3, 1e-12);
+  EXPECT_DOUBLE_EQ(cycles[0].count, 0.5);
+}
+
+TEST(Rainflow, TriangleWaveCountsFullCycles) {
+  // 10 identical discharge/charge triangles of depth 0.2.
+  std::vector<double> series;
+  for (int i = 0; i < 10; ++i) {
+    series.push_back(1.0);
+    series.push_back(0.8);
+  }
+  series.push_back(1.0);
+  const auto cycles = rainflow_cycles(series);
+  double total_depth_weighted = 0.0;
+  for (const auto& c : cycles) {
+    EXPECT_NEAR(c.depth, 0.2, 1e-12);
+    total_depth_weighted += c.count;
+  }
+  EXPECT_NEAR(total_depth_weighted, 10.0, 0.51);  // boundary half cycles
+}
+
+TEST(Rainflow, FlatSeriesHasNoCycles) {
+  EXPECT_TRUE(rainflow_cycles({0.5, 0.5, 0.5}).empty());
+  EXPECT_TRUE(rainflow_cycles({}).empty());
+}
+
+TEST(Rainflow, TotalCountGrowsWithRipple) {
+  // A rippled discharge produces more counted cycles than a clean one.
+  std::vector<double> clean, rippled;
+  for (int i = 0; i <= 100; ++i) {
+    const double base = 1.0 - 0.3 * i / 100.0;
+    clean.push_back(base);
+    rippled.push_back(base + ((i % 2) != 0 ? 0.05 : 0.0));
+  }
+  EXPECT_GT(total_count(rainflow_cycles(rippled)),
+            total_count(rainflow_cycles(clean)));
+}
+
+// --- damage ----------------------------------------------------------------------
+
+TEST(Damage, SingleDeepCycleMatchesCycleLife) {
+  // One full 30% cycle consumes 1 / life(0.3) of the battery.
+  const std::vector<double> soc{1.0, 0.7, 1.0};
+  EXPECT_NEAR(rainflow_damage(soc), 1.0 / lfp_cycle_life(0.3), 1e-12);
+}
+
+TEST(Damage, DeepCyclesHurtMoreThanShallowOnes) {
+  // Same total energy throughput: one 40% cycle vs. four 10% cycles.
+  const std::vector<double> deep{1.0, 0.6, 1.0};
+  std::vector<double> shallow{1.0};
+  for (int i = 0; i < 4; ++i) {
+    shallow.push_back(0.9);
+    shallow.push_back(1.0);
+  }
+  EXPECT_GT(rainflow_damage(deep), rainflow_damage(shallow));
+}
+
+TEST(Damage, OutOfRangeSocThrows) {
+  EXPECT_THROW(rainflow_damage({1.5, 0.5}), sprintcon::InvalidArgumentError);
+  EXPECT_THROW(rainflow_damage({-0.5}), sprintcon::InvalidArgumentError);
+}
+
+TEST(Damage, LifetimeCapsAtShelfLife) {
+  EXPECT_DOUBLE_EQ(rainflow_lifetime_days(0.0, 10.0), 3650.0);
+  EXPECT_DOUBLE_EQ(rainflow_lifetime_days(1e-9, 10.0), 3650.0);
+  EXPECT_NEAR(rainflow_lifetime_days(1e-3, 10.0), 100.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace sprintcon::power
