@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_adaptive_gain.dir/ablation_adaptive_gain.cpp.o"
+  "CMakeFiles/ablation_adaptive_gain.dir/ablation_adaptive_gain.cpp.o.d"
+  "ablation_adaptive_gain"
+  "ablation_adaptive_gain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_adaptive_gain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

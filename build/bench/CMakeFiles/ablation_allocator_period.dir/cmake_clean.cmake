@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_allocator_period.dir/ablation_allocator_period.cpp.o"
+  "CMakeFiles/ablation_allocator_period.dir/ablation_allocator_period.cpp.o.d"
+  "ablation_allocator_period"
+  "ablation_allocator_period.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_allocator_period.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_burst_shape.dir/ablation_burst_shape.cpp.o"
+  "CMakeFiles/ablation_burst_shape.dir/ablation_burst_shape.cpp.o.d"
+  "ablation_burst_shape"
+  "ablation_burst_shape.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_burst_shape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

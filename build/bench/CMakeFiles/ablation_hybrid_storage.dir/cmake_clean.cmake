@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_hybrid_storage.dir/ablation_hybrid_storage.cpp.o"
+  "CMakeFiles/ablation_hybrid_storage.dir/ablation_hybrid_storage.cpp.o.d"
+  "ablation_hybrid_storage"
+  "ablation_hybrid_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_hybrid_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_mpc_horizon.dir/ablation_mpc_horizon.cpp.o"
+  "CMakeFiles/ablation_mpc_horizon.dir/ablation_mpc_horizon.cpp.o.d"
+  "ablation_mpc_horizon"
+  "ablation_mpc_horizon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mpc_horizon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

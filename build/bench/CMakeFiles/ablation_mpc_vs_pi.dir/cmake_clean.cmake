@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_mpc_vs_pi.dir/ablation_mpc_vs_pi.cpp.o"
+  "CMakeFiles/ablation_mpc_vs_pi.dir/ablation_mpc_vs_pi.cpp.o.d"
+  "ablation_mpc_vs_pi"
+  "ablation_mpc_vs_pi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mpc_vs_pi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_no_ups.dir/ablation_no_ups.cpp.o"
+  "CMakeFiles/ablation_no_ups.dir/ablation_no_ups.cpp.o.d"
+  "ablation_no_ups"
+  "ablation_no_ups.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_no_ups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

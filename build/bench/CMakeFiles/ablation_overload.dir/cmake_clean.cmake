@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_overload.dir/ablation_overload.cpp.o"
+  "CMakeFiles/ablation_overload.dir/ablation_overload.cpp.o.d"
+  "ablation_overload"
+  "ablation_overload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_overload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_perwatt_speedup.dir/fig1_perwatt_speedup.cpp.o"
+  "CMakeFiles/fig1_perwatt_speedup.dir/fig1_perwatt_speedup.cpp.o.d"
+  "fig1_perwatt_speedup"
+  "fig1_perwatt_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_perwatt_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_periodic_sprint.dir/fig3_periodic_sprint.cpp.o"
+  "CMakeFiles/fig3_periodic_sprint.dir/fig3_periodic_sprint.cpp.o.d"
+  "fig3_periodic_sprint"
+  "fig3_periodic_sprint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_periodic_sprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

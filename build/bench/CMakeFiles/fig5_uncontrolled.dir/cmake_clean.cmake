@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_uncontrolled.dir/fig5_uncontrolled.cpp.o"
+  "CMakeFiles/fig5_uncontrolled.dir/fig5_uncontrolled.cpp.o.d"
+  "fig5_uncontrolled"
+  "fig5_uncontrolled.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_uncontrolled.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_power_behavior.dir/fig6_power_behavior.cpp.o"
+  "CMakeFiles/fig6_power_behavior.dir/fig6_power_behavior.cpp.o.d"
+  "fig6_power_behavior"
+  "fig6_power_behavior.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_power_behavior.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

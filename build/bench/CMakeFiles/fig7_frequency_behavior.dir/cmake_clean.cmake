@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_frequency_behavior.dir/fig7_frequency_behavior.cpp.o"
+  "CMakeFiles/fig7_frequency_behavior.dir/fig7_frequency_behavior.cpp.o.d"
+  "fig7_frequency_behavior"
+  "fig7_frequency_behavior.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_frequency_behavior.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

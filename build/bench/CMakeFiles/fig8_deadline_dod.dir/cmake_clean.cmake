@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_deadline_dod.dir/fig8_deadline_dod.cpp.o"
+  "CMakeFiles/fig8_deadline_dod.dir/fig8_deadline_dod.cpp.o.d"
+  "fig8_deadline_dod"
+  "fig8_deadline_dod.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_deadline_dod.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

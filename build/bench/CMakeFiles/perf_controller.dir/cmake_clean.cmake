@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_controller.dir/perf_controller.cpp.o"
+  "CMakeFiles/perf_controller.dir/perf_controller.cpp.o.d"
+  "perf_controller"
+  "perf_controller.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_headline.dir/table_headline.cpp.o"
+  "CMakeFiles/table_headline.dir/table_headline.cpp.o.d"
+  "table_headline"
+  "table_headline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_headline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

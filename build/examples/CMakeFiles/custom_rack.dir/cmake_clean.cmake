@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_rack.dir/custom_rack.cpp.o"
+  "CMakeFiles/custom_rack.dir/custom_rack.cpp.o.d"
+  "custom_rack"
+  "custom_rack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_rack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deadline_planner.dir/deadline_planner.cpp.o"
+  "CMakeFiles/deadline_planner.dir/deadline_planner.cpp.o.d"
+  "deadline_planner"
+  "deadline_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deadline_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

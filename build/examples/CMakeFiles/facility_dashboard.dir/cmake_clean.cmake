@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/facility_dashboard.dir/facility_dashboard.cpp.o"
+  "CMakeFiles/facility_dashboard.dir/facility_dashboard.cpp.o.d"
+  "facility_dashboard"
+  "facility_dashboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/facility_dashboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sprintcon_baselines.dir/power_cap.cpp.o"
+  "CMakeFiles/sprintcon_baselines.dir/power_cap.cpp.o.d"
+  "CMakeFiles/sprintcon_baselines.dir/sgct.cpp.o"
+  "CMakeFiles/sprintcon_baselines.dir/sgct.cpp.o.d"
+  "libsprintcon_baselines.a"
+  "libsprintcon_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sprintcon_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sprintcon_common.dir/cli.cpp.o"
+  "CMakeFiles/sprintcon_common.dir/cli.cpp.o.d"
+  "CMakeFiles/sprintcon_common.dir/csv.cpp.o"
+  "CMakeFiles/sprintcon_common.dir/csv.cpp.o.d"
+  "CMakeFiles/sprintcon_common.dir/rng.cpp.o"
+  "CMakeFiles/sprintcon_common.dir/rng.cpp.o.d"
+  "CMakeFiles/sprintcon_common.dir/table.cpp.o"
+  "CMakeFiles/sprintcon_common.dir/table.cpp.o.d"
+  "CMakeFiles/sprintcon_common.dir/time_series.cpp.o"
+  "CMakeFiles/sprintcon_common.dir/time_series.cpp.o.d"
+  "libsprintcon_common.a"
+  "libsprintcon_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sprintcon_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/control/eigen.cpp" "src/control/CMakeFiles/sprintcon_control.dir/eigen.cpp.o" "gcc" "src/control/CMakeFiles/sprintcon_control.dir/eigen.cpp.o.d"
+  "/root/repo/src/control/linalg.cpp" "src/control/CMakeFiles/sprintcon_control.dir/linalg.cpp.o" "gcc" "src/control/CMakeFiles/sprintcon_control.dir/linalg.cpp.o.d"
+  "/root/repo/src/control/matrix.cpp" "src/control/CMakeFiles/sprintcon_control.dir/matrix.cpp.o" "gcc" "src/control/CMakeFiles/sprintcon_control.dir/matrix.cpp.o.d"
+  "/root/repo/src/control/mpc.cpp" "src/control/CMakeFiles/sprintcon_control.dir/mpc.cpp.o" "gcc" "src/control/CMakeFiles/sprintcon_control.dir/mpc.cpp.o.d"
+  "/root/repo/src/control/pid.cpp" "src/control/CMakeFiles/sprintcon_control.dir/pid.cpp.o" "gcc" "src/control/CMakeFiles/sprintcon_control.dir/pid.cpp.o.d"
+  "/root/repo/src/control/qp.cpp" "src/control/CMakeFiles/sprintcon_control.dir/qp.cpp.o" "gcc" "src/control/CMakeFiles/sprintcon_control.dir/qp.cpp.o.d"
+  "/root/repo/src/control/rls.cpp" "src/control/CMakeFiles/sprintcon_control.dir/rls.cpp.o" "gcc" "src/control/CMakeFiles/sprintcon_control.dir/rls.cpp.o.d"
+  "/root/repo/src/control/settling.cpp" "src/control/CMakeFiles/sprintcon_control.dir/settling.cpp.o" "gcc" "src/control/CMakeFiles/sprintcon_control.dir/settling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sprintcon_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

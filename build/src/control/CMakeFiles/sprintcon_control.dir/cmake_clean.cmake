@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sprintcon_control.dir/eigen.cpp.o"
+  "CMakeFiles/sprintcon_control.dir/eigen.cpp.o.d"
+  "CMakeFiles/sprintcon_control.dir/linalg.cpp.o"
+  "CMakeFiles/sprintcon_control.dir/linalg.cpp.o.d"
+  "CMakeFiles/sprintcon_control.dir/matrix.cpp.o"
+  "CMakeFiles/sprintcon_control.dir/matrix.cpp.o.d"
+  "CMakeFiles/sprintcon_control.dir/mpc.cpp.o"
+  "CMakeFiles/sprintcon_control.dir/mpc.cpp.o.d"
+  "CMakeFiles/sprintcon_control.dir/pid.cpp.o"
+  "CMakeFiles/sprintcon_control.dir/pid.cpp.o.d"
+  "CMakeFiles/sprintcon_control.dir/qp.cpp.o"
+  "CMakeFiles/sprintcon_control.dir/qp.cpp.o.d"
+  "CMakeFiles/sprintcon_control.dir/rls.cpp.o"
+  "CMakeFiles/sprintcon_control.dir/rls.cpp.o.d"
+  "CMakeFiles/sprintcon_control.dir/settling.cpp.o"
+  "CMakeFiles/sprintcon_control.dir/settling.cpp.o.d"
+  "libsprintcon_control.a"
+  "libsprintcon_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sprintcon_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/allocator.cpp" "src/core/CMakeFiles/sprintcon_core.dir/allocator.cpp.o" "gcc" "src/core/CMakeFiles/sprintcon_core.dir/allocator.cpp.o.d"
+  "/root/repo/src/core/bidding.cpp" "src/core/CMakeFiles/sprintcon_core.dir/bidding.cpp.o" "gcc" "src/core/CMakeFiles/sprintcon_core.dir/bidding.cpp.o.d"
+  "/root/repo/src/core/cadence.cpp" "src/core/CMakeFiles/sprintcon_core.dir/cadence.cpp.o" "gcc" "src/core/CMakeFiles/sprintcon_core.dir/cadence.cpp.o.d"
+  "/root/repo/src/core/chip_allocator.cpp" "src/core/CMakeFiles/sprintcon_core.dir/chip_allocator.cpp.o" "gcc" "src/core/CMakeFiles/sprintcon_core.dir/chip_allocator.cpp.o.d"
+  "/root/repo/src/core/config.cpp" "src/core/CMakeFiles/sprintcon_core.dir/config.cpp.o" "gcc" "src/core/CMakeFiles/sprintcon_core.dir/config.cpp.o.d"
+  "/root/repo/src/core/safety.cpp" "src/core/CMakeFiles/sprintcon_core.dir/safety.cpp.o" "gcc" "src/core/CMakeFiles/sprintcon_core.dir/safety.cpp.o.d"
+  "/root/repo/src/core/server_controller.cpp" "src/core/CMakeFiles/sprintcon_core.dir/server_controller.cpp.o" "gcc" "src/core/CMakeFiles/sprintcon_core.dir/server_controller.cpp.o.d"
+  "/root/repo/src/core/sprintcon.cpp" "src/core/CMakeFiles/sprintcon_core.dir/sprintcon.cpp.o" "gcc" "src/core/CMakeFiles/sprintcon_core.dir/sprintcon.cpp.o.d"
+  "/root/repo/src/core/ups_controller.cpp" "src/core/CMakeFiles/sprintcon_core.dir/ups_controller.cpp.o" "gcc" "src/core/CMakeFiles/sprintcon_core.dir/ups_controller.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sprintcon_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/control/CMakeFiles/sprintcon_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sprintcon_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/sprintcon_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/sprintcon_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/sprintcon_power.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sprintcon_core.dir/allocator.cpp.o"
+  "CMakeFiles/sprintcon_core.dir/allocator.cpp.o.d"
+  "CMakeFiles/sprintcon_core.dir/bidding.cpp.o"
+  "CMakeFiles/sprintcon_core.dir/bidding.cpp.o.d"
+  "CMakeFiles/sprintcon_core.dir/cadence.cpp.o"
+  "CMakeFiles/sprintcon_core.dir/cadence.cpp.o.d"
+  "CMakeFiles/sprintcon_core.dir/chip_allocator.cpp.o"
+  "CMakeFiles/sprintcon_core.dir/chip_allocator.cpp.o.d"
+  "CMakeFiles/sprintcon_core.dir/config.cpp.o"
+  "CMakeFiles/sprintcon_core.dir/config.cpp.o.d"
+  "CMakeFiles/sprintcon_core.dir/safety.cpp.o"
+  "CMakeFiles/sprintcon_core.dir/safety.cpp.o.d"
+  "CMakeFiles/sprintcon_core.dir/server_controller.cpp.o"
+  "CMakeFiles/sprintcon_core.dir/server_controller.cpp.o.d"
+  "CMakeFiles/sprintcon_core.dir/sprintcon.cpp.o"
+  "CMakeFiles/sprintcon_core.dir/sprintcon.cpp.o.d"
+  "CMakeFiles/sprintcon_core.dir/ups_controller.cpp.o"
+  "CMakeFiles/sprintcon_core.dir/ups_controller.cpp.o.d"
+  "libsprintcon_core.a"
+  "libsprintcon_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sprintcon_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

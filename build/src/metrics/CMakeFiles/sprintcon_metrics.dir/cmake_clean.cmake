@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sprintcon_metrics.dir/summary.cpp.o"
+  "CMakeFiles/sprintcon_metrics.dir/summary.cpp.o.d"
+  "libsprintcon_metrics.a"
+  "libsprintcon_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sprintcon_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/power/battery.cpp" "src/power/CMakeFiles/sprintcon_power.dir/battery.cpp.o" "gcc" "src/power/CMakeFiles/sprintcon_power.dir/battery.cpp.o.d"
+  "/root/repo/src/power/circuit_breaker.cpp" "src/power/CMakeFiles/sprintcon_power.dir/circuit_breaker.cpp.o" "gcc" "src/power/CMakeFiles/sprintcon_power.dir/circuit_breaker.cpp.o.d"
+  "/root/repo/src/power/discharge_circuit.cpp" "src/power/CMakeFiles/sprintcon_power.dir/discharge_circuit.cpp.o" "gcc" "src/power/CMakeFiles/sprintcon_power.dir/discharge_circuit.cpp.o.d"
+  "/root/repo/src/power/hybrid_store.cpp" "src/power/CMakeFiles/sprintcon_power.dir/hybrid_store.cpp.o" "gcc" "src/power/CMakeFiles/sprintcon_power.dir/hybrid_store.cpp.o.d"
+  "/root/repo/src/power/power_path.cpp" "src/power/CMakeFiles/sprintcon_power.dir/power_path.cpp.o" "gcc" "src/power/CMakeFiles/sprintcon_power.dir/power_path.cpp.o.d"
+  "/root/repo/src/power/supercap.cpp" "src/power/CMakeFiles/sprintcon_power.dir/supercap.cpp.o" "gcc" "src/power/CMakeFiles/sprintcon_power.dir/supercap.cpp.o.d"
+  "/root/repo/src/power/trip_curve.cpp" "src/power/CMakeFiles/sprintcon_power.dir/trip_curve.cpp.o" "gcc" "src/power/CMakeFiles/sprintcon_power.dir/trip_curve.cpp.o.d"
+  "/root/repo/src/power/wear.cpp" "src/power/CMakeFiles/sprintcon_power.dir/wear.cpp.o" "gcc" "src/power/CMakeFiles/sprintcon_power.dir/wear.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sprintcon_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sprintcon_power.dir/battery.cpp.o"
+  "CMakeFiles/sprintcon_power.dir/battery.cpp.o.d"
+  "CMakeFiles/sprintcon_power.dir/circuit_breaker.cpp.o"
+  "CMakeFiles/sprintcon_power.dir/circuit_breaker.cpp.o.d"
+  "CMakeFiles/sprintcon_power.dir/discharge_circuit.cpp.o"
+  "CMakeFiles/sprintcon_power.dir/discharge_circuit.cpp.o.d"
+  "CMakeFiles/sprintcon_power.dir/hybrid_store.cpp.o"
+  "CMakeFiles/sprintcon_power.dir/hybrid_store.cpp.o.d"
+  "CMakeFiles/sprintcon_power.dir/power_path.cpp.o"
+  "CMakeFiles/sprintcon_power.dir/power_path.cpp.o.d"
+  "CMakeFiles/sprintcon_power.dir/supercap.cpp.o"
+  "CMakeFiles/sprintcon_power.dir/supercap.cpp.o.d"
+  "CMakeFiles/sprintcon_power.dir/trip_curve.cpp.o"
+  "CMakeFiles/sprintcon_power.dir/trip_curve.cpp.o.d"
+  "CMakeFiles/sprintcon_power.dir/wear.cpp.o"
+  "CMakeFiles/sprintcon_power.dir/wear.cpp.o.d"
+  "libsprintcon_power.a"
+  "libsprintcon_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sprintcon_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sprintcon_scenario.dir/facility.cpp.o"
+  "CMakeFiles/sprintcon_scenario.dir/facility.cpp.o.d"
+  "CMakeFiles/sprintcon_scenario.dir/rig.cpp.o"
+  "CMakeFiles/sprintcon_scenario.dir/rig.cpp.o.d"
+  "libsprintcon_scenario.a"
+  "libsprintcon_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sprintcon_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/server/cpu_core.cpp" "src/server/CMakeFiles/sprintcon_server.dir/cpu_core.cpp.o" "gcc" "src/server/CMakeFiles/sprintcon_server.dir/cpu_core.cpp.o.d"
+  "/root/repo/src/server/fan.cpp" "src/server/CMakeFiles/sprintcon_server.dir/fan.cpp.o" "gcc" "src/server/CMakeFiles/sprintcon_server.dir/fan.cpp.o.d"
+  "/root/repo/src/server/platform.cpp" "src/server/CMakeFiles/sprintcon_server.dir/platform.cpp.o" "gcc" "src/server/CMakeFiles/sprintcon_server.dir/platform.cpp.o.d"
+  "/root/repo/src/server/power_model.cpp" "src/server/CMakeFiles/sprintcon_server.dir/power_model.cpp.o" "gcc" "src/server/CMakeFiles/sprintcon_server.dir/power_model.cpp.o.d"
+  "/root/repo/src/server/rack.cpp" "src/server/CMakeFiles/sprintcon_server.dir/rack.cpp.o" "gcc" "src/server/CMakeFiles/sprintcon_server.dir/rack.cpp.o.d"
+  "/root/repo/src/server/server.cpp" "src/server/CMakeFiles/sprintcon_server.dir/server.cpp.o" "gcc" "src/server/CMakeFiles/sprintcon_server.dir/server.cpp.o.d"
+  "/root/repo/src/server/thermal.cpp" "src/server/CMakeFiles/sprintcon_server.dir/thermal.cpp.o" "gcc" "src/server/CMakeFiles/sprintcon_server.dir/thermal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sprintcon_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/sprintcon_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sprintcon_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

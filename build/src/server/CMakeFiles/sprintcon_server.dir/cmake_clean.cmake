@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sprintcon_server.dir/cpu_core.cpp.o"
+  "CMakeFiles/sprintcon_server.dir/cpu_core.cpp.o.d"
+  "CMakeFiles/sprintcon_server.dir/fan.cpp.o"
+  "CMakeFiles/sprintcon_server.dir/fan.cpp.o.d"
+  "CMakeFiles/sprintcon_server.dir/platform.cpp.o"
+  "CMakeFiles/sprintcon_server.dir/platform.cpp.o.d"
+  "CMakeFiles/sprintcon_server.dir/power_model.cpp.o"
+  "CMakeFiles/sprintcon_server.dir/power_model.cpp.o.d"
+  "CMakeFiles/sprintcon_server.dir/rack.cpp.o"
+  "CMakeFiles/sprintcon_server.dir/rack.cpp.o.d"
+  "CMakeFiles/sprintcon_server.dir/server.cpp.o"
+  "CMakeFiles/sprintcon_server.dir/server.cpp.o.d"
+  "CMakeFiles/sprintcon_server.dir/thermal.cpp.o"
+  "CMakeFiles/sprintcon_server.dir/thermal.cpp.o.d"
+  "libsprintcon_server.a"
+  "libsprintcon_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sprintcon_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

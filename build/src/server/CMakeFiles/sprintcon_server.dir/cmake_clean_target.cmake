@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsprintcon_server.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sprintcon_sim.dir/clock.cpp.o"
+  "CMakeFiles/sprintcon_sim.dir/clock.cpp.o.d"
+  "CMakeFiles/sprintcon_sim.dir/recorder.cpp.o"
+  "CMakeFiles/sprintcon_sim.dir/recorder.cpp.o.d"
+  "CMakeFiles/sprintcon_sim.dir/simulation.cpp.o"
+  "CMakeFiles/sprintcon_sim.dir/simulation.cpp.o.d"
+  "libsprintcon_sim.a"
+  "libsprintcon_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sprintcon_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/batch_job.cpp" "src/workload/CMakeFiles/sprintcon_workload.dir/batch_job.cpp.o" "gcc" "src/workload/CMakeFiles/sprintcon_workload.dir/batch_job.cpp.o.d"
+  "/root/repo/src/workload/batch_profile.cpp" "src/workload/CMakeFiles/sprintcon_workload.dir/batch_profile.cpp.o" "gcc" "src/workload/CMakeFiles/sprintcon_workload.dir/batch_profile.cpp.o.d"
+  "/root/repo/src/workload/interactive.cpp" "src/workload/CMakeFiles/sprintcon_workload.dir/interactive.cpp.o" "gcc" "src/workload/CMakeFiles/sprintcon_workload.dir/interactive.cpp.o.d"
+  "/root/repo/src/workload/progress_model.cpp" "src/workload/CMakeFiles/sprintcon_workload.dir/progress_model.cpp.o" "gcc" "src/workload/CMakeFiles/sprintcon_workload.dir/progress_model.cpp.o.d"
+  "/root/repo/src/workload/queueing.cpp" "src/workload/CMakeFiles/sprintcon_workload.dir/queueing.cpp.o" "gcc" "src/workload/CMakeFiles/sprintcon_workload.dir/queueing.cpp.o.d"
+  "/root/repo/src/workload/request_queue.cpp" "src/workload/CMakeFiles/sprintcon_workload.dir/request_queue.cpp.o" "gcc" "src/workload/CMakeFiles/sprintcon_workload.dir/request_queue.cpp.o.d"
+  "/root/repo/src/workload/trace_io.cpp" "src/workload/CMakeFiles/sprintcon_workload.dir/trace_io.cpp.o" "gcc" "src/workload/CMakeFiles/sprintcon_workload.dir/trace_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sprintcon_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

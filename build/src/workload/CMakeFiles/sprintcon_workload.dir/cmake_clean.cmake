@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sprintcon_workload.dir/batch_job.cpp.o"
+  "CMakeFiles/sprintcon_workload.dir/batch_job.cpp.o.d"
+  "CMakeFiles/sprintcon_workload.dir/batch_profile.cpp.o"
+  "CMakeFiles/sprintcon_workload.dir/batch_profile.cpp.o.d"
+  "CMakeFiles/sprintcon_workload.dir/interactive.cpp.o"
+  "CMakeFiles/sprintcon_workload.dir/interactive.cpp.o.d"
+  "CMakeFiles/sprintcon_workload.dir/progress_model.cpp.o"
+  "CMakeFiles/sprintcon_workload.dir/progress_model.cpp.o.d"
+  "CMakeFiles/sprintcon_workload.dir/queueing.cpp.o"
+  "CMakeFiles/sprintcon_workload.dir/queueing.cpp.o.d"
+  "CMakeFiles/sprintcon_workload.dir/request_queue.cpp.o"
+  "CMakeFiles/sprintcon_workload.dir/request_queue.cpp.o.d"
+  "CMakeFiles/sprintcon_workload.dir/trace_io.cpp.o"
+  "CMakeFiles/sprintcon_workload.dir/trace_io.cpp.o.d"
+  "libsprintcon_workload.a"
+  "libsprintcon_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sprintcon_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bidding_test.dir/bidding_test.cpp.o"
+  "CMakeFiles/bidding_test.dir/bidding_test.cpp.o.d"
+  "bidding_test"
+  "bidding_test.pdb"
+  "bidding_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bidding_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

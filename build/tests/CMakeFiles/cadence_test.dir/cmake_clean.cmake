@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cadence_test.dir/cadence_test.cpp.o"
+  "CMakeFiles/cadence_test.dir/cadence_test.cpp.o.d"
+  "cadence_test"
+  "cadence_test.pdb"
+  "cadence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cadence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

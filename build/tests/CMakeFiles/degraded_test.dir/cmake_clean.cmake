@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/degraded_test.dir/degraded_test.cpp.o"
+  "CMakeFiles/degraded_test.dir/degraded_test.cpp.o.d"
+  "degraded_test"
+  "degraded_test.pdb"
+  "degraded_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/degraded_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recharge_test.dir/recharge_test.cpp.o"
+  "CMakeFiles/recharge_test.dir/recharge_test.cpp.o.d"
+  "recharge_test"
+  "recharge_test.pdb"
+  "recharge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recharge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

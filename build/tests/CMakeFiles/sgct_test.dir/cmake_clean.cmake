@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgct_test.dir/sgct_test.cpp.o"
+  "CMakeFiles/sgct_test.dir/sgct_test.cpp.o.d"
+  "sgct_test"
+  "sgct_test.pdb"
+  "sgct_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgct_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sprintcon_test.dir/sprintcon_test.cpp.o"
+  "CMakeFiles/sprintcon_test.dir/sprintcon_test.cpp.o.d"
+  "sprintcon_test"
+  "sprintcon_test.pdb"
+  "sprintcon_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sprintcon_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/thermal_test.cpp" "tests/CMakeFiles/thermal_test.dir/thermal_test.cpp.o" "gcc" "tests/CMakeFiles/thermal_test.dir/thermal_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sprintcon_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/control/CMakeFiles/sprintcon_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sprintcon_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/sprintcon_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/sprintcon_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/sprintcon_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sprintcon_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/sprintcon_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/sprintcon_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/scenario/CMakeFiles/sprintcon_scenario.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
