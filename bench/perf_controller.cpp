@@ -5,22 +5,20 @@
 // analysis, and full simulation throughput.
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+
 #include "common/rng.hpp"
 #include "control/eigen.hpp"
 #include "control/mpc.hpp"
 #include "control/qp.hpp"
+#include "scenario/facility.hpp"
 #include "scenario/rig.hpp"
 
 namespace {
 
 using namespace sprintcon;
 
-void BM_MpcStep(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  control::MpcConfig cfg;
-  cfg.prediction_horizon = 8;
-  cfg.control_horizon = 2;
-  control::MpcPowerController mpc(cfg);
+control::MpcProblem mpc_bench_problem(std::size_t n) {
   control::MpcProblem p;
   p.gains_w_per_f.assign(n, 20.0);
   p.freq_current.assign(n, 0.5);
@@ -29,12 +27,34 @@ void BM_MpcStep(benchmark::State& state) {
   p.penalty_weights.assign(n, 4.0);
   p.power_feedback_w = 20.0 * 0.5 * static_cast<double>(n);
   p.power_target_w = p.power_feedback_w * 1.3;
+  return p;
+}
+
+void run_mpc_step_bench(benchmark::State& state, bool use_dense_qp) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  control::MpcConfig cfg;
+  cfg.prediction_horizon = 8;
+  cfg.control_horizon = 2;
+  cfg.use_dense_qp = use_dense_qp;
+  control::MpcPowerController mpc(cfg);
+  const control::MpcProblem p = mpc_bench_problem(n);
+  control::MpcOutput out;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(mpc.step(p));
+    mpc.step(p, out);
+    benchmark::DoNotOptimize(out.freq_next.data());
   }
   state.SetLabel(std::to_string(n) + " cores");
 }
+
+// Structured operator path (the default): O(n Lc) per solver iteration.
+void BM_MpcStep(benchmark::State& state) { run_mpc_step_bench(state, false); }
 BENCHMARK(BM_MpcStep)->Arg(8)->Arg(64)->Arg(128)->Arg(256);
+
+// Dense reference path: materialized (n Lc)^2 Hessian + power iteration.
+void BM_MpcStepDense(benchmark::State& state) {
+  run_mpc_step_bench(state, true);
+}
+BENCHMARK(BM_MpcStepDense)->Arg(8)->Arg(64)->Arg(256);
 
 void BM_BoxQpSolve(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -66,6 +86,51 @@ void BM_Eigenvalues(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Eigenvalues)->Arg(8)->Arg(32)->Arg(64);
+
+// Facility throughput: whole short sprints across 1/4/16 racks, run by the
+// facility thread pool (one worker per hardware thread). Construction is
+// included — the facility cannot be re-run — but the simulation dominates.
+void BM_FacilityRun(benchmark::State& state) {
+  const auto racks = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    scenario::FacilityConfig cfg;
+    cfg.num_racks = racks;
+    cfg.rack.num_servers = 2;
+    cfg.rack.sprint.cb_rated_w = 2.0 * 300.0 * (2.0 / 3.0);
+    cfg.rack.ups_capacity_wh = 50.0;
+    cfg.rack.duration_s = 60.0;
+    scenario::Facility facility(cfg);
+    facility.run();
+    benchmark::DoNotOptimize(facility.rig(0).recorder());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(racks));
+  state.SetLabel(std::to_string(racks) + " racks x 60 s");
+}
+BENCHMARK(BM_FacilityRun)->Arg(1)->Arg(4)->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+// Same workload forced sequential, for the scaling comparison.
+void BM_FacilityRunSequential(benchmark::State& state) {
+  const auto racks = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    scenario::FacilityConfig cfg;
+    cfg.num_racks = racks;
+    cfg.run_threads = 1;
+    cfg.rack.num_servers = 2;
+    cfg.rack.sprint.cb_rated_w = 2.0 * 300.0 * (2.0 / 3.0);
+    cfg.rack.ups_capacity_wh = 50.0;
+    cfg.rack.duration_s = 60.0;
+    scenario::Facility facility(cfg);
+    facility.run();
+    benchmark::DoNotOptimize(facility.rig(0).recorder());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(racks));
+  state.SetLabel(std::to_string(racks) + " racks x 60 s");
+}
+BENCHMARK(BM_FacilityRunSequential)->Arg(1)->Arg(4)->Arg(16)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_RigTick(benchmark::State& state) {
   scenario::RigConfig config;

@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Run the controller microbenchmarks and record them as BENCH_controller.json.
+
+Runs build/bench/perf_controller with google-benchmark's JSON output, then
+condenses the result into a small stable document at the repo root so the
+perf trajectory of the controller hot paths can be tracked across PRs:
+
+    {
+      "benchmarks": { "<name>": {"real_time_ns": ..., "items_per_second": ...} },
+      "headline": {
+        "mpc_step_256_structured_ns": ...,
+        "mpc_step_256_dense_ns": ...,
+        "mpc_step_256_speedup": ...
+      }
+    }
+
+Usage:
+    scripts/bench_to_json.py [--bench-binary build/bench/perf_controller]
+                             [--output BENCH_controller.json]
+                             [--filter REGEX] [--min-time SECONDS]
+"""
+
+import argparse
+import json
+import pathlib
+import subprocess
+import sys
+import tempfile
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def run_benchmarks(binary: pathlib.Path, bench_filter: str,
+                   min_time: float) -> dict:
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+        out_path = pathlib.Path(tmp.name)
+    # Old google-benchmark (< 1.8) takes a plain double for min_time; newer
+    # versions require a "<N>s" suffix. Probe the old form first.
+    cmd = [
+        str(binary),
+        f"--benchmark_out={out_path}",
+        "--benchmark_out_format=json",
+        f"--benchmark_min_time={min_time}",
+    ]
+    probe = subprocess.run(cmd + ["--benchmark_list_tests=true"],
+                           capture_output=True, text=True)
+    if probe.returncode != 0:
+        cmd[-1] = f"--benchmark_min_time={min_time}s"
+    if bench_filter:
+        cmd.append(f"--benchmark_filter={bench_filter}")
+    subprocess.run(cmd, check=True)
+    try:
+        with out_path.open() as fh:
+            return json.load(fh)
+    finally:
+        out_path.unlink(missing_ok=True)
+
+
+_NS_PER_UNIT = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def condense(raw: dict) -> dict:
+    benchmarks = {}
+    for entry in raw.get("benchmarks", []):
+        if entry.get("run_type") != "iteration":
+            continue
+        scale = _NS_PER_UNIT[entry.get("time_unit", "ns")]
+        record = {
+            "real_time_ns": entry["real_time"] * scale,
+            "cpu_time_ns": entry["cpu_time"] * scale,
+            "iterations": entry["iterations"],
+        }
+        if "items_per_second" in entry:
+            record["items_per_second"] = entry["items_per_second"]
+        benchmarks[entry["name"]] = record
+
+    headline = {}
+    structured = benchmarks.get("BM_MpcStep/256")
+    dense = benchmarks.get("BM_MpcStepDense/256")
+    if structured:
+        headline["mpc_step_256_structured_ns"] = structured["real_time_ns"]
+    if dense:
+        headline["mpc_step_256_dense_ns"] = dense["real_time_ns"]
+    if structured and dense and structured["real_time_ns"] > 0:
+        headline["mpc_step_256_speedup"] = round(
+            dense["real_time_ns"] / structured["real_time_ns"], 2)
+
+    return {
+        "context": {
+            "date": raw.get("context", {}).get("date"),
+            "host_name": raw.get("context", {}).get("host_name"),
+            "num_cpus": raw.get("context", {}).get("num_cpus"),
+            "build_type": raw.get("context", {}).get("library_build_type"),
+        },
+        "benchmarks": benchmarks,
+        "headline": headline,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--bench-binary",
+                        default=str(REPO_ROOT / "build/bench/perf_controller"))
+    parser.add_argument("--output",
+                        default=str(REPO_ROOT / "BENCH_controller.json"))
+    parser.add_argument("--filter", default="",
+                        help="google-benchmark --benchmark_filter regex")
+    parser.add_argument("--min-time", type=float, default=0.1,
+                        help="per-benchmark minimum measurement time")
+    args = parser.parse_args()
+
+    binary = pathlib.Path(args.bench_binary)
+    if not binary.exists():
+        print(f"benchmark binary not found: {binary}\n"
+              "build it first: cmake --build build --target perf_controller",
+              file=sys.stderr)
+        return 1
+
+    raw = run_benchmarks(binary, args.filter, args.min_time)
+    condensed = condense(raw)
+    output = pathlib.Path(args.output)
+    output.write_text(json.dumps(condensed, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {output}")
+    if condensed["headline"]:
+        print(json.dumps(condensed["headline"], indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Build the concurrency-sensitive test suites under ThreadSanitizer and run
+# them (everything labeled `threads`: the thread pool and the parallel
+# facility). Equivalent to:
+#   cmake --preset tsan && cmake --build --preset tsan && ctest --preset tsan
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cmake -B build-tsan -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DSPRINTCON_TSAN=ON \
+  -DSPRINTCON_BUILD_BENCH=OFF \
+  -DSPRINTCON_BUILD_EXAMPLES=OFF
+cmake --build build-tsan -j "$(nproc)" --target thread_pool_test facility_test
+ctest --test-dir build-tsan -L threads --output-on-failure "$@"

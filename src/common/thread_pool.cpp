@@ -1,0 +1,74 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+
+#include "common/validation.hpp"
+
+namespace sprintcon {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stop_ set and queue drained
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();  // exceptions land in the task's future
+  }
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> task) {
+  SPRINTCON_EXPECTS(static_cast<bool>(task), "thread pool task must be callable");
+  std::packaged_task<void()> packaged(std::move(task));
+  std::future<void> future = packaged.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    SPRINTCON_EXPECTS(!stop_, "thread pool is shutting down");
+    tasks_.push(std::move(packaged));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& fn) {
+  SPRINTCON_EXPECTS(static_cast<bool>(fn), "parallel_for needs a callable");
+  if (count == 0) return;
+  if (count == 1 || size() == 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  std::vector<std::future<void>> futures;
+  futures.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    futures.push_back(submit([&fn, i] { fn(i); }));
+  }
+  // Wait for everything before surfacing any failure, so no task is still
+  // touching caller state when the exception unwinds.
+  for (auto& f : futures) f.wait();
+  for (auto& f : futures) f.get();
+}
+
+}  // namespace sprintcon

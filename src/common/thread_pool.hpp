@@ -1,0 +1,57 @@
+// Small fixed-size worker pool for embarrassingly parallel simulation work.
+//
+// The facility layer runs many independent rack simulations (each rig owns
+// its RNG, recorder and controllers, sharing nothing), so the pool only
+// needs plain fire-and-wait task submission — no work stealing, no task
+// dependencies. Tasks are executed FIFO; parallel_for distributes one task
+// per index and rethrows the first (lowest-index) exception after every
+// task has finished, so failures never leave detached work running.
+#pragma once
+
+#include <cstddef>
+#include <condition_variable>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace sprintcon {
+
+class ThreadPool {
+ public:
+  /// @param num_threads  worker count; 0 picks the hardware concurrency
+  ///                     (at least 1).
+  explicit ThreadPool(std::size_t num_threads = 0);
+
+  /// Drains outstanding tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueue a task; the future reports completion and carries any
+  /// exception the task threw.
+  std::future<void> submit(std::function<void()> task);
+
+  /// Run fn(0..count-1) across the pool and wait for all of them. If any
+  /// invocation throws, the exception from the lowest index is rethrown
+  /// (after every task has completed). With count <= 1 the call runs
+  /// inline on the caller's thread.
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::packaged_task<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace sprintcon

@@ -26,6 +26,43 @@ void check_problem(const MpcProblem& p) {
   }
 }
 
+/// Number of prediction steps mapped to control block b and the sum of
+/// (reference - base) over those steps. All blocks but the last cover one
+/// step; the last covers the rest of the prediction horizon.
+struct BlockTracking {
+  double steps = 0.0;
+  double ref_sum = 0.0;
+};
+
+BlockTracking block_tracking(const Vector& reference, double pred_base,
+                             std::size_t b, std::size_t lc, std::size_t lp) {
+  const std::size_t first_step = b;  // 0-based step index s-1
+  const std::size_t last_step = (b + 1 == lc) ? lp - 1 : b;
+  BlockTracking t;
+  for (std::size_t s = first_step; s <= last_step; ++s) {
+    t.steps += 1.0;
+    t.ref_sum += reference[s] - pred_base;
+  }
+  return t;
+}
+
+/// Tighten the first block's bounds to the DVFS slew limit (the only block
+/// that is actuated). Bounds may cross if the current frequency was set
+/// outside the box (e.g. after the actuated set changed); fall back to the
+/// hard bounds there.
+void apply_slew_limit(const MpcProblem& problem, double max_slew,
+                      Vector& lower, Vector& upper) {
+  if (max_slew <= 0.0) return;
+  for (std::size_t i = 0; i < problem.freq_current.size(); ++i) {
+    lower[i] = std::max(lower[i], problem.freq_current[i] - max_slew);
+    upper[i] = std::min(upper[i], problem.freq_current[i] + max_slew);
+    if (lower[i] > upper[i]) {
+      lower[i] = problem.freq_min[i];
+      upper[i] = problem.freq_max[i];
+    }
+  }
+}
+
 }  // namespace
 
 MpcPowerController::MpcPowerController(const MpcConfig& config)
@@ -38,32 +75,99 @@ MpcPowerController::MpcPowerController(const MpcConfig& config)
   SPRINTCON_EXPECTS(config.tracking_weight > 0.0, "tracking weight > 0");
 }
 
+double MpcPowerController::build_reference(const MpcProblem& problem) {
+  // Reference trajectory (Eq. 7), evaluated at x = 1..Lp.
+  // r(x) = P - e^{-(T/tau) x} (P - p_fb)
+  const std::size_t lp = config_.prediction_horizon;
+  const double decay =
+      std::exp(-config_.control_period_s / config_.reference_time_constant_s);
+  reference_.resize(lp);
+  double e = problem.power_target_w - problem.power_feedback_w;
+  for (std::size_t s = 0; s < lp; ++s) {
+    e *= decay;
+    reference_[s] = problem.power_target_w - e;
+  }
+  // Constant part of the power prediction: p_fb(t) - K . F(t).
+  return problem.power_feedback_w -
+         dot(problem.gains_w_per_f, problem.freq_current);
+}
+
 MpcOutput MpcPowerController::step(const MpcProblem& problem) {
+  MpcOutput out;
+  step(problem, out);
+  return out;
+}
+
+void MpcPowerController::step(const MpcProblem& problem, MpcOutput& out) {
   check_problem(problem);
+  if (config_.use_dense_qp) {
+    step_dense(problem, out);
+  } else {
+    step_structured(problem, out);
+  }
+}
+
+void MpcPowerController::step_structured(const MpcProblem& problem,
+                                         MpcOutput& out) {
   const std::size_t n = problem.gains_w_per_f.size();
   const std::size_t lc = config_.control_horizon;
   const std::size_t lp = config_.prediction_horizon;
   const std::size_t dim = n * lc;
+  const double pred_base = build_reference(problem);
 
-  // Reference trajectory (Eq. 7), evaluated at x = 1..Lp.
-  // r(x) = P - e^{-(T/tau) x} (P - p_fb)
-  const double decay =
-      std::exp(-config_.control_period_s / config_.reference_time_constant_s);
-  std::vector<double> reference(lp);
-  {
-    double e = problem.power_target_w - problem.power_feedback_w;
-    for (std::size_t s = 0; s < lp; ++s) {
-      e *= decay;
-      reference[s] = problem.power_target_w - e;
+  // Assemble the operator form of the Hessian (see structured_qp.hpp) in
+  // controller-owned buffers; copy-assignment reuses their capacity.
+  sqp_.gains = problem.gains_w_per_f;
+  sqp_.penalty = problem.penalty_weights;
+  sqp_.rank_weight.resize(lc);
+  sqp_.gradient.resize(dim);
+  sqp_.lower.resize(dim);
+  sqp_.upper.resize(dim);
+
+  const double q = config_.tracking_weight;
+  for (std::size_t b = 0; b < lc; ++b) {
+    const BlockTracking t = block_tracking(reference_, pred_base, b, lc, lp);
+    sqp_.rank_weight[b] = q * t.steps;
+    const std::size_t off = b * n;
+    for (std::size_t i = 0; i < n; ++i) {
+      sqp_.gradient[off + i] =
+          -q * problem.gains_w_per_f[i] * t.ref_sum -
+          problem.penalty_weights[i] * problem.freq_max[i];
+      sqp_.lower[off + i] = problem.freq_min[i];
+      sqp_.upper[off + i] = problem.freq_max[i];
     }
   }
+  apply_slew_limit(problem, config_.max_slew_per_period, sqp_.lower,
+                   sqp_.upper);
+
+  // Warm start from the previous solution when the shape is unchanged.
+  if (warm_start_.size() == dim) {
+    x0_ = warm_start_;
+  } else {
+    x0_.resize(dim);
+    for (std::size_t b = 0; b < lc; ++b)
+      std::copy(problem.freq_current.begin(), problem.freq_current.end(),
+                x0_.begin() + static_cast<std::ptrdiff_t>(b * n));
+  }
+
+  solve_structured_qp(sqp_, x0_, config_.qp, sqp_scratch_, out.qp);
+  warm_start_ = out.qp.x;
+
+  out.freq_next.assign(out.qp.x.begin(),
+                       out.qp.x.begin() + static_cast<std::ptrdiff_t>(n));
+  out.predicted_power_w =
+      pred_base + dot(problem.gains_w_per_f, out.freq_next);
+}
+
+void MpcPowerController::step_dense(const MpcProblem& problem, MpcOutput& out) {
+  const std::size_t n = problem.gains_w_per_f.size();
+  const std::size_t lc = config_.control_horizon;
+  const std::size_t lp = config_.prediction_horizon;
+  const std::size_t dim = n * lc;
+  const double pred_base = build_reference(problem);
 
   // Decision variables: z = [F(t+1); ...; F(t+Lc)] stacked. Predicted power
-  // at step s uses block min(s, Lc). The constant part of the prediction is
-  // p_fb(t) - K . F(t).
-  const double pred_base =
-      problem.power_feedback_w - dot(problem.gains_w_per_f, problem.freq_current);
-
+  // at step s uses block min(s, Lc).
   BoxQp qp;
   qp.hessian = Matrix(dim, dim, 0.0);
   qp.gradient.assign(dim, 0.0);
@@ -72,50 +176,24 @@ MpcOutput MpcPowerController::step(const MpcProblem& problem) {
 
   const double q = config_.tracking_weight;
   for (std::size_t b = 0; b < lc; ++b) {
-    // Number of prediction steps mapping to this block, and the sum of the
-    // (reference - base) terms over those steps.
-    const std::size_t first_step = b;            // 0-based step index s-1
-    const std::size_t last_step = (b + 1 == lc) ? lp - 1 : b;
-    double steps = 0.0;
-    double ref_sum = 0.0;
-    for (std::size_t s = first_step; s <= last_step; ++s) {
-      steps += 1.0;
-      ref_sum += reference[s] - pred_base;
-    }
-
+    const BlockTracking t = block_tracking(reference_, pred_base, b, lc, lp);
     const std::size_t off = b * n;
     for (std::size_t i = 0; i < n; ++i) {
       const double ki = problem.gains_w_per_f[i];
       // Tracking term: q * steps * K^T K block.
       for (std::size_t j = 0; j < n; ++j) {
         qp.hessian(off + i, off + j) +=
-            q * steps * ki * problem.gains_w_per_f[j];
+            q * t.steps * ki * problem.gains_w_per_f[j];
       }
       // Control penalty: R on (z_b - F_max).
       qp.hessian(off + i, off + i) += problem.penalty_weights[i];
-      qp.gradient[off + i] = -q * ki * ref_sum -
+      qp.gradient[off + i] = -q * ki * t.ref_sum -
                              problem.penalty_weights[i] * problem.freq_max[i];
       qp.lower[off + i] = problem.freq_min[i];
       qp.upper[off + i] = problem.freq_max[i];
     }
   }
-
-  // Optional DVFS slew limit, applied to the first block (the only one that
-  // is actuated).
-  if (config_.max_slew_per_period > 0.0) {
-    for (std::size_t i = 0; i < n; ++i) {
-      qp.lower[i] = std::max(
-          qp.lower[i], problem.freq_current[i] - config_.max_slew_per_period);
-      qp.upper[i] = std::min(
-          qp.upper[i], problem.freq_current[i] + config_.max_slew_per_period);
-      // Bounds may cross if the current frequency was set outside the box
-      // (e.g. after the actuated set changed); fall back to the hard bounds.
-      if (qp.lower[i] > qp.upper[i]) {
-        qp.lower[i] = problem.freq_min[i];
-        qp.upper[i] = problem.freq_max[i];
-      }
-    }
-  }
+  apply_slew_limit(problem, config_.max_slew_per_period, qp.lower, qp.upper);
 
   // Warm start from the previous solution when the shape is unchanged.
   Vector x0;
@@ -128,15 +206,14 @@ MpcOutput MpcPowerController::step(const MpcProblem& problem) {
                 problem.freq_current.end());
   }
 
-  MpcOutput out;
   QpResult qp_result = solve_box_qp(qp, x0, config_.qp);
   warm_start_ = qp_result.x;
 
-  out.freq_next.assign(qp_result.x.begin(), qp_result.x.begin() + static_cast<std::ptrdiff_t>(n));
+  out.freq_next.assign(qp_result.x.begin(),
+                       qp_result.x.begin() + static_cast<std::ptrdiff_t>(n));
   out.predicted_power_w =
       pred_base + dot(problem.gains_w_per_f, out.freq_next);
   out.qp = std::move(qp_result);
-  return out;
 }
 
 Matrix mpc_closed_loop_matrix(const MpcConfig& config,

@@ -12,7 +12,10 @@
 // The decision variables are parameterized as the absolute frequency
 // vectors at each control-horizon step (prefix sums of the paper's
 // Delta-F), which turns the frequency bounds into a plain box and the cost
-// into a convex QP solved by `solve_box_qp`.
+// into a convex QP. By default it is solved through the O(n Lc) structured
+// operator of structured_qp.hpp (the Hessian is diag(R) + c_b k k^T per
+// control block); MpcConfig::use_dense_qp selects the dense `solve_box_qp`
+// reference path instead.
 //
 // The control penalty weight R_j per core implements the paper's progress
 // balancing: R_j = remaining-progress / normalized-remaining-time, so jobs
@@ -23,6 +26,7 @@
 
 #include "control/matrix.hpp"
 #include "control/qp.hpp"
+#include "control/structured_qp.hpp"
 
 namespace sprintcon::control {
 
@@ -36,6 +40,11 @@ struct MpcConfig {
   /// Optional per-period slew limit on each frequency (normalized units);
   /// <= 0 disables rate limiting.
   double max_slew_per_period = 0.0;
+  /// Solve the QP with the dense reference path (materialized Hessian +
+  /// power-iteration step bound) instead of the O(n Lc) structured
+  /// operator. The two agree to solver tolerance; the dense path exists as
+  /// a cross-check and for experiments with non-structured costs.
+  bool use_dense_qp = false;
   QpOptions qp;
 };
 
@@ -61,7 +70,8 @@ struct MpcOutput {
   QpResult qp;         ///< solver diagnostics
 };
 
-/// MPC instance; stateless between invocations except for the warm start.
+/// MPC instance; stateless between invocations except for the warm start
+/// and reusable solver scratch.
 class MpcPowerController {
  public:
   explicit MpcPowerController(const MpcConfig& config);
@@ -72,12 +82,29 @@ class MpcPowerController {
   /// frequency vector for the next period.
   MpcOutput step(const MpcProblem& problem);
 
+  /// In-place variant: writes into `out`, reusing its vector capacity. On
+  /// the structured path a warm-started controller stepping a fixed-size
+  /// problem performs zero steady-state heap allocations.
+  void step(const MpcProblem& problem, MpcOutput& out);
+
   /// Reset the warm-start state (e.g. when the actuated core set changes).
   void reset() noexcept { warm_start_.clear(); }
 
  private:
+  void step_dense(const MpcProblem& problem, MpcOutput& out);
+  void step_structured(const MpcProblem& problem, MpcOutput& out);
+  /// Fill `reference_` (Eq. 7) and return the constant part of the power
+  /// prediction p_fb(t) - K . F(t).
+  double build_reference(const MpcProblem& problem);
+
   MpcConfig config_;
   Vector warm_start_;
+  // Controller-owned scratch for the structured path; sized on first use
+  // and reused verbatim while the problem shape is unchanged.
+  Vector reference_;
+  StructuredBlockQp sqp_;
+  StructuredQpScratch sqp_scratch_;
+  Vector x0_;
 };
 
 /// Closed-loop state matrix of the *unconstrained* MPC law applied to a

@@ -66,7 +66,9 @@ void ServerPowerController::update(double p_total_w, double p_batch_target_w,
   prev_p_fb_w_ = p_fb;
   last_p_fb_w_ = p_fb;
 
-  control::MpcProblem problem;
+  // Reuse the controller-owned problem buffers; resize is a no-op at
+  // steady state so a warm-started update allocates nothing.
+  control::MpcProblem& problem = problem_;
   problem.gains_w_per_f.resize(n);
   problem.freq_current.resize(n);
   problem.freq_min.resize(n);
@@ -98,7 +100,7 @@ void ServerPowerController::update(double p_total_w, double p_batch_target_w,
   problem.power_feedback_w = last_p_fb_w_;
   problem.power_target_w = p_batch_target_w;
 
-  last_out_ = mpc_.step(problem);
+  mpc_.step(problem, last_out_);
 
   // Step 3 of the loop: write the new frequencies to the DVFS actuators.
   for (std::size_t i = 0; i < n; ++i) {

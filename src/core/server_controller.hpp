@@ -61,6 +61,7 @@ class ServerPowerController {
   server::LinearPowerModel model_;
   control::MpcPowerController mpc_;
   control::GainEstimator gain_estimator_;
+  control::MpcProblem problem_;  ///< reused across updates (no realloc)
   control::MpcOutput last_out_;
   double last_p_fb_w_ = 0.0;
   /// State for the adaptive-gain observation: the frequency sum we applied

@@ -1,5 +1,9 @@
 #include "scenario/facility.hpp"
 
+#include <algorithm>
+#include <thread>
+
+#include "common/thread_pool.hpp"
 #include "common/validation.hpp"
 
 namespace sprintcon::scenario {
@@ -28,7 +32,19 @@ Facility::Facility(const FacilityConfig& config) : config_(config) {
 
 void Facility::run() {
   if (ran_) return;
-  for (auto& rig : rigs_) rig->run();
+  // Rigs are fully independent (per-rig RNG, recorder, controllers), so
+  // running them concurrently is bit-identical to the sequential order.
+  std::size_t threads = config_.run_threads != 0
+                            ? config_.run_threads
+                            : std::max<std::size_t>(
+                                  1, std::thread::hardware_concurrency());
+  threads = std::min(threads, rigs_.size());
+  if (threads <= 1) {
+    for (auto& rig : rigs_) rig->run();
+  } else {
+    ThreadPool pool(threads);
+    pool.parallel_for(rigs_.size(), [this](std::size_t i) { rigs_[i]->run(); });
+  }
   ran_ = true;
 }
 
@@ -45,13 +61,17 @@ const Rig& Facility::rig(std::size_t i) const {
 TimeSeries Facility::sum_channel(const char* channel,
                                  const char* name) const {
   SPRINTCON_ENSURES(ran_, "run() the facility before aggregating");
-  const TimeSeries& first = rigs_.front()->recorder().series(channel);
+  // The recorder's series() lookup is a by-name search; resolve each rack's
+  // channel once instead of once per (sample, rack) pair.
+  std::vector<const TimeSeries*> series;
+  series.reserve(rigs_.size());
+  for (const auto& rig : rigs_) series.push_back(&rig->recorder().series(channel));
+  const TimeSeries& first = *series.front();
   TimeSeries sum(name, first.dt_s(), first.start_s());
   for (std::size_t i = 0; i < first.size(); ++i) {
     double total = 0.0;
-    for (const auto& rig : rigs_) {
-      const TimeSeries& s = rig->recorder().series(channel);
-      total += s[std::min(i, s.size() - 1)];
+    for (const TimeSeries* s : series) {
+      total += (*s)[std::min(i, s->size() - 1)];
     }
     sum.push(total);
   }

@@ -22,6 +22,11 @@ struct FacilityConfig {
   std::size_t num_racks = 4;
   /// Stagger the racks' overload windows by cycle/num_racks each.
   bool staggered = true;
+  /// Worker threads for run(). Racks share nothing (each rig owns its RNG,
+  /// recorder and controllers), so they execute concurrently with results
+  /// bit-identical to sequential execution. 0 = one worker per hardware
+  /// thread (capped at num_racks); 1 = run sequentially on the caller.
+  std::size_t run_threads = 0;
   /// Per-rack configuration template; each rack gets seed + rack index.
   RigConfig rack;
 
@@ -33,7 +38,8 @@ class Facility {
  public:
   explicit Facility(const FacilityConfig& config);
 
-  /// Run every rack's sprint (idempotent).
+  /// Run every rack's sprint (idempotent), in parallel across
+  /// config.run_threads workers.
   void run();
 
   std::size_t num_racks() const noexcept { return rigs_.size(); }

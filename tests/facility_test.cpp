@@ -1,6 +1,8 @@
 // Tests for the multi-rack Facility coordinator.
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "common/error.hpp"
 #include "scenario/facility.hpp"
 
@@ -80,6 +82,47 @@ TEST(Facility, EveryRackStaysSafe) {
   for (const auto& summary : facility.summaries()) {
     EXPECT_EQ(summary.cb_trips, 0);
     EXPECT_LT(summary.outage_start_s, 0.0);
+  }
+}
+
+TEST(Facility, ParallelRunIsBitIdenticalToSequential) {
+  // Each rig owns its RNG, recorder and controllers, so the worker count
+  // must not change a single recorded sample or summary metric.
+  FacilityConfig sequential_cfg = small_facility(true);
+  sequential_cfg.run_threads = 1;
+  FacilityConfig parallel_cfg = small_facility(true);
+  parallel_cfg.run_threads = 4;
+
+  Facility sequential(sequential_cfg);
+  Facility parallel(parallel_cfg);
+  sequential.run();
+  parallel.run();
+
+  for (std::size_t r = 0; r < sequential.num_racks(); ++r) {
+    const auto& rec_seq = sequential.rig(r).recorder();
+    const auto& rec_par = parallel.rig(r).recorder();
+    for (const std::string& channel : rec_seq.channel_names()) {
+      const TimeSeries& a = rec_seq.series(channel);
+      const TimeSeries& b = rec_par.series(channel);
+      ASSERT_EQ(a.size(), b.size()) << channel << " rack " << r;
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        ASSERT_EQ(a[i], b[i])
+            << channel << " rack " << r << " sample " << i;
+      }
+    }
+  }
+
+  const auto sum_seq = sequential.summaries();
+  const auto sum_par = parallel.summaries();
+  ASSERT_EQ(sum_seq.size(), sum_par.size());
+  for (std::size_t r = 0; r < sum_seq.size(); ++r) {
+    EXPECT_EQ(sum_seq[r].avg_freq_batch, sum_par[r].avg_freq_batch);
+    EXPECT_EQ(sum_seq[r].avg_total_power_w, sum_par[r].avg_total_power_w);
+    EXPECT_EQ(sum_seq[r].peak_cb_power_w, sum_par[r].peak_cb_power_w);
+    EXPECT_EQ(sum_seq[r].ups_discharged_wh, sum_par[r].ups_discharged_wh);
+    EXPECT_EQ(sum_seq[r].cb_trips, sum_par[r].cb_trips);
+    EXPECT_EQ(sum_seq[r].jobs_completed, sum_par[r].jobs_completed);
+    EXPECT_EQ(sum_seq[r].worst_completion_s, sum_par[r].worst_completion_s);
   }
 }
 
