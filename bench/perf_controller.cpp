@@ -47,8 +47,40 @@ void run_mpc_step_bench(benchmark::State& state, bool use_dense_qp) {
 }
 
 // Structured operator path (the default): O(n Lc) per solver iteration.
+// Observability is left detached here, so this also proves the disabled
+// ObsSink costs one branch per emit site (compare BM_MpcStepObserved).
 void BM_MpcStep(benchmark::State& state) { run_mpc_step_bench(state, false); }
 BENCHMARK(BM_MpcStep)->Arg(8)->Arg(64)->Arg(128)->Arg(256);
+
+// Same solve with a live ObsSink attached: counters + exit-residual and
+// wall-time histograms per step. The delta versus BM_MpcStep is the
+// enabled-mode observability overhead recorded in DESIGN.md.
+void BM_MpcStepObserved(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  control::MpcConfig cfg;
+  cfg.prediction_horizon = 8;
+  cfg.control_horizon = 2;
+  control::MpcPowerController mpc(cfg);
+  obs::ObsSink sink;
+  mpc.set_obs(&sink);
+  const control::MpcProblem p = mpc_bench_problem(n);
+  control::MpcOutput out;
+  for (auto _ : state) {
+    mpc.step(p, out);
+    benchmark::DoNotOptimize(out.freq_next.data());
+  }
+  const obs::MetricsSnapshot snap = sink.metrics().snapshot();
+  const double solves =
+      static_cast<double>(snap.counter("mpc.solves.structured"));
+  if (solves > 0) {
+    state.counters["qp_iterations_per_solve"] = benchmark::Counter(
+        static_cast<double>(snap.counter("mpc.qp.iterations")) / solves);
+    state.counters["qp_restarts_per_solve"] = benchmark::Counter(
+        static_cast<double>(snap.counter("mpc.qp.restarts")) / solves);
+  }
+  state.SetLabel(std::to_string(n) + " cores, obs on");
+}
+BENCHMARK(BM_MpcStepObserved)->Arg(8)->Arg(256);
 
 // Dense reference path: materialized (n Lc)^2 Hessian + power iteration.
 void BM_MpcStepDense(benchmark::State& state) {

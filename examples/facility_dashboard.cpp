@@ -1,37 +1,72 @@
 // Facility dashboard: run a small data-center floor of sprinting racks and
 // print the facility-level view an operator would watch — aggregate feed
-// draw, per-rack safety, and the effect of staggered overload windows.
+// draw, per-rack safety, solver health, and the effect of staggered
+// overload windows. Built on the structured observability layer: every
+// number below comes out of the racks' obs::RunReport, and `--json FILE`
+// dumps the same data for scripts/report_check.py.
 //
-//   ./build/examples/facility_dashboard [num_racks]
+//   ./build/examples/facility_dashboard [num_racks] [--json FILE]
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "common/table.hpp"
+#include "obs/export.hpp"
 #include "scenario/facility.hpp"
+
+namespace {
+
+/// {"facility":{"metrics":...},"racks":[<report>,...]} for tooling.
+std::string facility_json(const sprintcon::scenario::Facility& facility,
+                          const std::vector<sprintcon::obs::RunReport>& racks) {
+  std::string out = "{\"facility\":{\"metrics\":";
+  out += sprintcon::obs::metrics_to_json(facility.obs()->metrics().snapshot());
+  out += "},\"racks\":[";
+  for (std::size_t r = 0; r < racks.size(); ++r) {
+    if (r > 0) out += ',';
+    out += racks[r].to_json();
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace sprintcon;
 
-  const std::size_t racks =
-      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 4;
+  std::size_t racks = 4;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      racks = static_cast<std::size_t>(std::atoi(arg.c_str()));
+    }
+  }
   if (racks == 0 || racks > 16) {
-    std::cerr << "usage: facility_dashboard [1..16 racks]\n";
+    std::cerr << "usage: facility_dashboard [1..16 racks] [--json FILE]\n";
     return 1;
   }
 
   scenario::FacilityConfig config;
   config.num_racks = racks;
   config.staggered = true;
+  config.observability = true;
   std::cout << "running " << racks
             << " SprintCon racks with staggered overload windows...\n\n";
   scenario::Facility facility(config);
   facility.run();
 
+  const std::vector<obs::RunReport> reports = facility.reports();
+
   Table rack_table({"rack", "offset (s)", "f_inter", "f_batch", "UPS Wh",
-                    "DoD", "trips", "deadlines"});
-  const auto summaries = facility.summaries();
-  for (std::size_t r = 0; r < facility.num_racks(); ++r) {
-    const auto& s = summaries[r];
+                    "DoD", "trips", "deadlines", "events"});
+  for (std::size_t r = 0; r < reports.size(); ++r) {
+    const metrics::RunSummary& s = reports[r].summary;
     rack_table.add_row(
         {std::to_string(r),
          format_fixed(facility.rig(r).config().sprint.schedule_offset_s, 0),
@@ -39,9 +74,37 @@ int main(int argc, char** argv) {
          format_fixed(s.avg_freq_batch, 2),
          format_fixed(s.ups_discharged_wh, 0),
          format_percent(s.depth_of_discharge), std::to_string(s.cb_trips),
-         s.all_deadlines_met ? "met" : "MISSED"});
+         s.all_deadlines_met ? "met" : "MISSED",
+         std::to_string(reports[r].events.size())});
   }
   std::cout << rack_table.to_string();
+
+  // Solver health, straight from the per-rack metric registries.
+  std::cout << "\nsolver health (MPC over the run):\n";
+  for (std::size_t r = 0; r < reports.size(); ++r) {
+    const obs::MetricsSnapshot& m = reports[r].metrics;
+    const std::uint64_t solves = m.counter("mpc.solves.structured") +
+                                 m.counter("mpc.solves.dense");
+    const std::uint64_t iters = m.counter("mpc.qp.iterations");
+    const auto it = m.histograms.find("mpc.step_us");
+    std::cout << "  rack " << r << ": " << solves << " solves, "
+              << format_fixed(solves > 0 ? static_cast<double>(iters) /
+                                               static_cast<double>(solves)
+                                         : 0.0,
+                              1)
+              << " iters/solve, " << m.counter("mpc.qp.restarts")
+              << " restarts";
+    if (it != m.histograms.end() && it->second.count > 0) {
+      std::cout << ", step p95 " << format_fixed(it->second.p95, 1) << " us";
+    }
+    std::cout << "\n";
+  }
+
+  const obs::MetricsSnapshot fac = facility.obs()->metrics().snapshot();
+  std::cout << "pool: " << fac.counter("pool.tasks_completed") << "/"
+            << fac.counter("pool.tasks_submitted") << " tasks on "
+            << format_fixed(fac.gauge("pool.threads"), 0) << " workers, run "
+            << format_fixed(fac.gauge("facility.run_s"), 2) << " s\n";
 
   const TimeSeries cb = facility.facility_cb_power();
   const TimeSeries total = facility.facility_total_power();
@@ -56,5 +119,15 @@ int main(int argc, char** argv) {
             << "\nstaggering keeps the facility feed nearly flat; re-run\n"
                "with config.staggered = false to see the synchronized\n"
                "square wave (or see bench/ablation_stagger).\n";
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::cerr << "cannot open " << json_path << " for writing\n";
+      return 1;
+    }
+    out << facility_json(facility, reports) << "\n";
+    std::cout << "\nwrote structured report to " << json_path << "\n";
+  }
   return 0;
 }

@@ -58,6 +58,14 @@ def run_benchmarks(binary: pathlib.Path, bench_filter: str,
 
 _NS_PER_UNIT = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
 
+# google-benchmark entry keys that are not user counters.
+_STANDARD_KEYS = frozenset({
+    "name", "family_index", "per_family_instance_index", "run_name",
+    "run_type", "repetitions", "repetition_index", "threads", "iterations",
+    "real_time", "cpu_time", "time_unit", "items_per_second",
+    "bytes_per_second", "label", "aggregate_name", "aggregate_unit",
+})
+
 
 def condense(raw: dict) -> dict:
     benchmarks = {}
@@ -72,11 +80,22 @@ def condense(raw: dict) -> dict:
         }
         if "items_per_second" in entry:
             record["items_per_second"] = entry["items_per_second"]
+        # User counters (state.counters[...]) surface as extra numeric keys;
+        # BM_MpcStepObserved reports solver health from the metrics
+        # snapshot this way.
+        counters = {
+            key: value
+            for key, value in entry.items()
+            if key not in _STANDARD_KEYS and isinstance(value, (int, float))
+        }
+        if counters:
+            record["counters"] = counters
         benchmarks[entry["name"]] = record
 
     headline = {}
     structured = benchmarks.get("BM_MpcStep/256")
     dense = benchmarks.get("BM_MpcStepDense/256")
+    observed = benchmarks.get("BM_MpcStepObserved/256")
     if structured:
         headline["mpc_step_256_structured_ns"] = structured["real_time_ns"]
     if dense:
@@ -84,6 +103,19 @@ def condense(raw: dict) -> dict:
     if structured and dense and structured["real_time_ns"] > 0:
         headline["mpc_step_256_speedup"] = round(
             dense["real_time_ns"] / structured["real_time_ns"], 2)
+    if observed:
+        headline["mpc_step_256_observed_ns"] = observed["real_time_ns"]
+        if structured and structured["real_time_ns"] > 0:
+            headline["mpc_obs_overhead_pct"] = round(
+                100.0 * (observed["real_time_ns"] / structured["real_time_ns"]
+                         - 1.0), 2)
+        for counter, key in (("qp_iterations_per_solve",
+                              "mpc_step_256_qp_iterations"),
+                             ("qp_restarts_per_solve",
+                              "mpc_step_256_qp_restarts")):
+            value = observed.get("counters", {}).get(counter)
+            if value is not None:
+                headline[key] = round(value, 2)
 
     return {
         "context": {

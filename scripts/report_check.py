@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Smoke-check the structured run report exported by facility_dashboard.
+
+Runs build/examples/facility_dashboard with --json, parses the export and
+validates that the observability layer actually captured what the
+acceptance criteria demand: per-rack reports with summary/metrics/events,
+MPC solver counters that moved, and allocator + UPS events in the
+timeline. Exits non-zero (with a reason) on the first violation.
+
+Usage:
+    scripts/report_check.py [--dashboard build/examples/facility_dashboard]
+                            [--racks 3] [--keep FILE]
+"""
+
+import argparse
+import json
+import pathlib
+import subprocess
+import sys
+import tempfile
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def fail(msg: str) -> None:
+    print(f"report_check: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_rack(i: int, rack: dict) -> None:
+    for key in ("label", "summary", "metrics", "events"):
+        if key not in rack:
+            fail(f"rack {i}: missing key '{key}'")
+    if rack["label"] != f"SprintCon/rack{i}":
+        fail(f"rack {i}: unexpected label {rack['label']!r}")
+
+    counters = rack["metrics"].get("counters", {})
+    solves = counters.get("mpc.solves.structured", 0) + counters.get(
+        "mpc.solves.dense", 0)
+    if solves <= 0:
+        fail(f"rack {i}: no MPC solves recorded")
+    if counters.get("mpc.qp.iterations", 0) <= 0:
+        fail(f"rack {i}: no QP iterations recorded")
+
+    summary = rack["summary"]
+    for key in ("avg_freq_batch", "ups_discharged_wh", "cb_trips",
+                "all_deadlines_met"):
+        if key not in summary:
+            fail(f"rack {i}: summary missing '{key}'")
+
+    events = rack["events"]
+    if not events:
+        fail(f"rack {i}: empty event timeline")
+    types = {e.get("type") for e in events}
+    if "allocator_decision" not in types:
+        fail(f"rack {i}: no allocator_decision events (saw {sorted(types)})")
+    if "ups_setpoint" not in types:
+        fail(f"rack {i}: no ups_setpoint events (saw {sorted(types)})")
+    seqs = [e["seq"] for e in events]
+    if seqs != sorted(seqs):
+        fail(f"rack {i}: event sequence numbers not monotone")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--dashboard",
+                        default=REPO_ROOT / "build/examples/facility_dashboard",
+                        type=pathlib.Path)
+    parser.add_argument("--racks", type=int, default=3)
+    parser.add_argument("--keep", type=pathlib.Path, default=None,
+                        help="also write the raw JSON export here")
+    args = parser.parse_args()
+
+    if not args.dashboard.exists():
+        fail(f"dashboard binary not found at {args.dashboard} "
+             "(build with -DSPRINTCON_BUILD_EXAMPLES=ON)")
+
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+        out_path = pathlib.Path(tmp.name)
+    try:
+        subprocess.run(
+            [str(args.dashboard), str(args.racks), "--json", str(out_path)],
+            check=True, capture_output=True, text=True)
+        doc = json.loads(out_path.read_text())
+    except subprocess.CalledProcessError as exc:
+        fail(f"dashboard exited {exc.returncode}: {exc.stderr.strip()}")
+    except json.JSONDecodeError as exc:
+        fail(f"export is not valid JSON: {exc}")
+    finally:
+        if args.keep is not None:
+            args.keep.write_bytes(out_path.read_bytes())
+        out_path.unlink(missing_ok=True)
+
+    if "facility" not in doc or "metrics" not in doc["facility"]:
+        fail("missing facility.metrics")
+    fac_counters = doc["facility"]["metrics"].get("counters", {})
+    if fac_counters.get("facility.racks", 0) != args.racks:
+        fail(f"facility.racks counter != {args.racks}")
+
+    racks = doc.get("racks", [])
+    if len(racks) != args.racks:
+        fail(f"expected {args.racks} rack reports, got {len(racks)}")
+    for i, rack in enumerate(racks):
+        check_rack(i, rack)
+
+    total_events = sum(len(r["events"]) for r in racks)
+    print(f"report_check: OK — {len(racks)} racks, {total_events} events, "
+          f"{sum(r['metrics']['counters'].get('mpc.solves.structured', 0) for r in racks)} "
+          "structured MPC solves")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

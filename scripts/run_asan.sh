@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Build the observability test suites under AddressSanitizer and run them
+# (everything labeled `obs`: the event log / metrics / export unit tests
+# plus the safety-event and observed-facility suites). Equivalent to:
+#   cmake --preset asan && cmake --build --preset asan && ctest --preset asan
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cmake -B build-asan -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DSPRINTCON_ASAN=ON \
+  -DSPRINTCON_BUILD_BENCH=OFF \
+  -DSPRINTCON_BUILD_EXAMPLES=OFF
+cmake --build build-asan -j "$(nproc)" --target obs_test safety_test facility_test
+ctest --test-dir build-asan -L obs --output-on-failure "$@"

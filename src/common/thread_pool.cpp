@@ -1,6 +1,7 @@
 #include "common/thread_pool.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/validation.hpp"
 
@@ -39,17 +40,59 @@ void ThreadPool::worker_loop() {
   }
 }
 
+void ThreadPool::record_completion(double elapsed_s) noexcept {
+  tasks_completed_.fetch_add(1, std::memory_order_relaxed);
+  total_task_s_.fetch_add(elapsed_s, std::memory_order_relaxed);
+  double cur = max_task_s_.load(std::memory_order_relaxed);
+  while (elapsed_s > cur && !max_task_s_.compare_exchange_weak(
+                                cur, elapsed_s, std::memory_order_relaxed)) {
+  }
+}
+
 std::future<void> ThreadPool::submit(std::function<void()> task) {
   SPRINTCON_EXPECTS(static_cast<bool>(task), "thread pool task must be callable");
-  std::packaged_task<void()> packaged(std::move(task));
+  // Completion stats must be recorded before the packaged_task satisfies its
+  // future: a waiter that wakes from future.wait() and immediately calls
+  // stats() has to see this task counted. So the stats live inside the
+  // wrapper, not in worker_loop after task() returns.
+  std::packaged_task<void()> packaged(
+      [this, fn = std::move(task)] {
+        const auto start = std::chrono::steady_clock::now();
+        try {
+          fn();
+        } catch (...) {
+          record_completion(std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() - start)
+                                .count());
+          throw;
+        }
+        record_completion(std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - start)
+                              .count());
+      });
   std::future<void> future = packaged.get_future();
   {
     std::lock_guard<std::mutex> lock(mutex_);
     SPRINTCON_EXPECTS(!stop_, "thread pool is shutting down");
     tasks_.push(std::move(packaged));
+    ++tasks_submitted_;
+    max_queue_depth_ = std::max(max_queue_depth_, tasks_.size());
   }
   cv_.notify_one();
   return future;
+}
+
+ThreadPool::Stats ThreadPool::stats() const {
+  Stats s;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    s.tasks_submitted = tasks_submitted_;
+    s.max_queue_depth = max_queue_depth_;
+  }
+  s.tasks_completed = tasks_completed_.load(std::memory_order_relaxed);
+  s.total_task_s = total_task_s_.load(std::memory_order_relaxed);
+  s.max_task_s = max_task_s_.load(std::memory_order_relaxed);
+  return s;
 }
 
 void ThreadPool::parallel_for(std::size_t count,

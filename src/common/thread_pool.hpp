@@ -8,7 +8,9 @@
 // task has finished, so failures never leave detached work running.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <condition_variable>
 #include <functional>
 #include <future>
@@ -21,6 +23,17 @@ namespace sprintcon {
 
 class ThreadPool {
  public:
+  /// Execution statistics since construction. The pool sits below the
+  /// observability layer, so it keeps native atomics; the facility scrapes
+  /// them into its metrics registry after each run.
+  struct Stats {
+    std::uint64_t tasks_submitted = 0;
+    std::uint64_t tasks_completed = 0;
+    std::size_t max_queue_depth = 0;  ///< peak queued (not yet running)
+    double total_task_s = 0.0;        ///< summed task wall time
+    double max_task_s = 0.0;          ///< slowest single task
+  };
+
   /// @param num_threads  worker count; 0 picks the hardware concurrency
   ///                     (at least 1).
   explicit ThreadPool(std::size_t num_threads = 0);
@@ -44,14 +57,28 @@ class ThreadPool {
   void parallel_for(std::size_t count,
                     const std::function<void(std::size_t)>& fn);
 
+  /// Consistent-enough snapshot of the execution statistics; safe to call
+  /// concurrently with submissions (counters are monotone).
+  Stats stats() const;
+
  private:
   void worker_loop();
+  /// Bump the completion-side counters. Runs inside the wrapped task, before
+  /// its future is satisfied, so stats() after future.wait() is consistent.
+  void record_completion(double elapsed_s) noexcept;
 
   std::vector<std::thread> workers_;
   std::queue<std::packaged_task<void()>> tasks_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable cv_;
   bool stop_ = false;
+  // Stats. Submission-side fields are guarded by mutex_ (already taken on
+  // that path); completion-side fields are atomics updated by workers.
+  std::uint64_t tasks_submitted_ = 0;
+  std::size_t max_queue_depth_ = 0;
+  std::atomic<std::uint64_t> tasks_completed_{0};
+  std::atomic<double> total_task_s_{0.0};
+  std::atomic<double> max_task_s_{0.0};
 };
 
 }  // namespace sprintcon

@@ -98,12 +98,34 @@ MpcOutput MpcPowerController::step(const MpcProblem& problem) {
   return out;
 }
 
+void MpcPowerController::set_obs(obs::ObsSink* sink) {
+  obs_ = sink;
+  met_ = ObsHandles{};
+  if (sink == nullptr) return;
+  auto& m = sink->metrics();
+  met_.solves_structured = &m.counter("mpc.solves.structured");
+  met_.solves_dense = &m.counter("mpc.solves.dense");
+  met_.qp_iterations = &m.counter("mpc.qp.iterations");
+  met_.qp_restarts = &m.counter("mpc.qp.restarts");
+  met_.qp_not_converged = &m.counter("mpc.qp.not_converged");
+  met_.exit_residual = &m.histogram("mpc.qp.exit_residual");
+  met_.step_us = &m.histogram("mpc.step_us");
+}
+
 void MpcPowerController::step(const MpcProblem& problem, MpcOutput& out) {
   check_problem(problem);
+  const obs::ScopedTimer timer(obs_ != nullptr ? met_.step_us : nullptr);
   if (config_.use_dense_qp) {
     step_dense(problem, out);
   } else {
     step_structured(problem, out);
+  }
+  if (obs_ != nullptr) {
+    (config_.use_dense_qp ? met_.solves_dense : met_.solves_structured)->add();
+    met_.qp_iterations->add(static_cast<std::uint64_t>(out.qp.iterations));
+    met_.qp_restarts->add(static_cast<std::uint64_t>(out.qp.restarts));
+    if (!out.qp.converged) met_.qp_not_converged->add();
+    met_.exit_residual->record(out.qp.residual);
   }
 }
 

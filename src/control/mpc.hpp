@@ -27,6 +27,7 @@
 #include "control/matrix.hpp"
 #include "control/qp.hpp"
 #include "control/structured_qp.hpp"
+#include "obs/sink.hpp"
 
 namespace sprintcon::control {
 
@@ -90,6 +91,12 @@ class MpcPowerController {
   /// Reset the warm-start state (e.g. when the actuated core set changes).
   void reset() noexcept { warm_start_.clear(); }
 
+  /// Attach an observability sink (nullptr detaches). Metric handles are
+  /// resolved here once; with a sink attached each step() adds counter
+  /// updates and a steady_clock read, without one detached it costs a
+  /// single branch.
+  void set_obs(obs::ObsSink* sink);
+
  private:
   void step_dense(const MpcProblem& problem, MpcOutput& out);
   void step_structured(const MpcProblem& problem, MpcOutput& out);
@@ -105,6 +112,19 @@ class MpcPowerController {
   StructuredBlockQp sqp_;
   StructuredQpScratch sqp_scratch_;
   Vector x0_;
+
+  // Observability (optional). Handles cached by set_obs.
+  struct ObsHandles {
+    obs::Counter* solves_structured = nullptr;
+    obs::Counter* solves_dense = nullptr;
+    obs::Counter* qp_iterations = nullptr;
+    obs::Counter* qp_restarts = nullptr;
+    obs::Counter* qp_not_converged = nullptr;
+    obs::Histogram* exit_residual = nullptr;
+    obs::Histogram* step_us = nullptr;
+  };
+  obs::ObsSink* obs_ = nullptr;
+  ObsHandles met_;
 };
 
 /// Closed-loop state matrix of the *unconstrained* MPC law applied to a

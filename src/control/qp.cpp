@@ -82,7 +82,10 @@ QpResult solve_box_qp(const BoxQp& qp, const Vector& x0,
     double restart_test = 0.0;
     for (std::size_t i = 0; i < n; ++i)
       restart_test += g[i] * (x_next[i] - x[i]);
-    if (restart_test > 0.0) t_momentum = 1.0;
+    if (restart_test > 0.0) {
+      t_momentum = 1.0;
+      ++result.restarts;
+    }
 
     const double t_next =
         0.5 * (1.0 + std::sqrt(1.0 + 4.0 * t_momentum * t_momentum));

@@ -49,6 +49,7 @@ struct QpOptions {
 struct QpResult {
   Vector x;            ///< solution (always feasible: clamped each iterate)
   int iterations = 0;  ///< iterations actually performed
+  int restarts = 0;    ///< momentum restarts taken (O'Donoghue-Candes test)
   bool converged = false;
   double residual = 0.0;  ///< final projected-gradient residual (inf norm)
 };

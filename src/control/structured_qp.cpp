@@ -117,6 +117,7 @@ void solve_structured_qp(const StructuredBlockQp& qp, const Vector& x0,
   double t_momentum = 1.0;
 
   result.iterations = 0;
+  result.restarts = 0;
   result.converged = false;
 
   for (int it = 0; it < options.max_iterations; ++it) {
@@ -132,7 +133,10 @@ void solve_structured_qp(const StructuredBlockQp& qp, const Vector& x0,
     double restart_test = 0.0;
     for (std::size_t i = 0; i < dim; ++i)
       restart_test += (g[i] + qp.gradient[i]) * (x_next[i] - x[i]);
-    if (restart_test > 0.0) t_momentum = 1.0;
+    if (restart_test > 0.0) {
+      t_momentum = 1.0;
+      ++result.restarts;
+    }
 
     const double t_next =
         0.5 * (1.0 + std::sqrt(1.0 + 4.0 * t_momentum * t_momentum));

@@ -153,8 +153,28 @@ double PowerLoadAllocator::adapt(double t_since_start_s,
                config_.cb_overload_w());
   recovery_floor_cache_w_ = recovery_floor_w(jobs, overload_batch_w);
 
-  p_batch_w_ = targets(t_since_start_s).p_batch_w;
+  const AllocatorTargets now = targets(t_since_start_s);
+  p_batch_w_ = now.p_batch_w;
+
+  if (obs_ != nullptr) {
+    obs_->events().emit(t_since_start_s, obs::EventType::kAllocatorDecision,
+                        "adapt",
+                        {{"p_cb_w", now.p_cb_w},
+                         {"p_batch_w", now.p_batch_w},
+                         {"deadline_floor_w", deadline_floor_cache_w_},
+                         {"recovery_floor_w", recovery_floor_cache_w_},
+                         {"headroom_w", interactive_headroom_w_},
+                         {"overloading", now.overloading ? 1.0 : 0.0}});
+    adaptations_->add();
+  }
   return p_batch_w_;
+}
+
+void PowerLoadAllocator::set_obs(obs::ObsSink* sink) {
+  obs_ = sink;
+  adaptations_ = sink != nullptr
+                     ? &sink->metrics().counter("allocator.adaptations")
+                     : nullptr;
 }
 
 AllocatorTargets PowerLoadAllocator::targets(double t_since_start_s) const {

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "core/config.hpp"
+#include "obs/sink.hpp"
 
 namespace sprintcon::core {
 
@@ -86,6 +87,11 @@ class PowerLoadAllocator {
 
   double p_batch() const noexcept { return p_batch_w_; }
 
+  /// Attach an observability sink (nullptr detaches). Every adapt() then
+  /// emits a kAllocatorDecision event with the inputs behind the new
+  /// P_cb/P_batch split.
+  void set_obs(obs::ObsSink* sink);
+
  private:
   SprintConfig config_;
   double p_batch_w_;
@@ -95,6 +101,8 @@ class PowerLoadAllocator {
   double deadline_floor_cache_w_ = 0.0;
   double recovery_floor_cache_w_ = 0.0;
   std::vector<double> inter_window_;
+  obs::ObsSink* obs_ = nullptr;
+  obs::Counter* adaptations_ = nullptr;
 };
 
 }  // namespace sprintcon::core

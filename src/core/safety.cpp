@@ -22,13 +22,22 @@ SafetyMonitor::SafetyMonitor(const SprintConfig& config) : config_(config) {
   config.validate();
 }
 
+void SafetyMonitor::set_obs(obs::ObsSink* sink) {
+  obs_ = sink;
+  transitions_ =
+      sink != nullptr ? &sink->metrics().counter("safety.transitions") : nullptr;
+}
+
 SprintState SafetyMonitor::update(const power::CircuitBreaker& breaker,
-                                  const power::EnergyStore& battery) {
+                                  const power::EnergyStore& battery,
+                                  double now_s) {
   if (state_ == SprintState::kEnded) return state_;  // sticky
 
   // Breaker watch: engage on near-trip (or an actual trip), re-arm only
   // after substantial cooling.
-  if (breaker.open() || breaker.near_trip(config_.near_trip_margin)) {
+  const bool cb_stressed =
+      breaker.open() || breaker.near_trip(config_.near_trip_margin);
+  if (cb_stressed) {
     cb_protect_ = true;
   } else if (cb_protect_ && breaker.thermal_stress() < kRearmStress) {
     cb_protect_ = false;
@@ -39,6 +48,7 @@ SprintState SafetyMonitor::update(const power::CircuitBreaker& breaker,
     ups_conserve_ = true;
   }
 
+  const SprintState prev = state_;
   if (cb_protect_ && ups_conserve_) {
     state_ = SprintState::kEnded;
   } else if (ups_conserve_) {
@@ -47,6 +57,30 @@ SprintState SafetyMonitor::update(const power::CircuitBreaker& breaker,
     state_ = SprintState::kCbProtect;
   } else {
     state_ = SprintState::kSprinting;
+  }
+
+  if (obs_ != nullptr && state_ != prev) {
+    // The dominant monitor that forced this transition.
+    const char* cb_cause = breaker.open() ? "cb-open" : "cb-near-trip";
+    const char* cause = "unknown";
+    switch (state_) {
+      case SprintState::kSprinting: cause = "cb-cooled"; break;
+      case SprintState::kCbProtect: cause = cb_cause; break;
+      case SprintState::kUpsConserve: cause = "battery-low"; break;
+      case SprintState::kEnded:
+        // Whichever monitor fired last completes the pair; from
+        // kSprinting both crossed their thresholds on the same tick.
+        cause = prev == SprintState::kCbProtect ? "battery-low"
+                : prev == SprintState::kUpsConserve ? cb_cause
+                                                    : "cb-and-battery";
+        break;
+    }
+    obs_->events().emit(now_s, obs::EventType::kSprintStateChange, cause,
+                        {{"from", static_cast<double>(prev)},
+                         {"to", static_cast<double>(state_)},
+                         {"stress", breaker.thermal_stress()},
+                         {"soc", battery.state_of_charge()}});
+    transitions_->add();
   }
   return state_;
 }

@@ -11,6 +11,7 @@
 #pragma once
 
 #include "core/config.hpp"
+#include "obs/sink.hpp"
 #include "power/energy_store.hpp"
 #include "power/circuit_breaker.hpp"
 
@@ -31,19 +32,27 @@ class SafetyMonitor {
  public:
   explicit SafetyMonitor(const SprintConfig& config);
 
-  /// Evaluate the monitors; call once per tick.
+  /// Evaluate the monitors; call once per tick. `now_s` only stamps the
+  /// emitted transition events (ignored without a sink).
   SprintState update(const power::CircuitBreaker& breaker,
-                     const power::EnergyStore& battery);
+                     const power::EnergyStore& battery, double now_s = 0.0);
 
   SprintState state() const noexcept { return state_; }
   bool cb_protect() const noexcept { return cb_protect_; }
   bool ups_conserve() const noexcept { return ups_conserve_; }
+
+  /// Attach an observability sink (nullptr detaches). Every state
+  /// transition is then emitted exactly once as a kSprintStateChange
+  /// event carrying the cause and the breaker/battery readings.
+  void set_obs(obs::ObsSink* sink);
 
  private:
   SprintConfig config_;
   bool cb_protect_ = false;
   bool ups_conserve_ = false;
   SprintState state_ = SprintState::kSprinting;
+  obs::ObsSink* obs_ = nullptr;
+  obs::Counter* transitions_ = nullptr;
 };
 
 }  // namespace sprintcon::core

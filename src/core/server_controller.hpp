@@ -55,6 +55,9 @@ class ServerPowerController {
 
   const server::LinearPowerModel& model() const noexcept { return model_; }
 
+  /// Attach an observability sink (forwarded to the MPC profiling hooks).
+  void set_obs(obs::ObsSink* sink) { mpc_.set_obs(sink); }
+
  private:
   SprintConfig config_;
   server::Rack& rack_;

@@ -1,6 +1,7 @@
 #include "core/sprintcon.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/validation.hpp"
 #include "server/platform.hpp"
@@ -19,6 +20,13 @@ SprintConController::SprintConController(const SprintConfig& config,
       ups_ctrl_(config),
       safety_(config) {
   config.validate();
+}
+
+void SprintConController::set_obs(obs::ObsSink* sink) {
+  obs_ = sink;
+  safety_.set_obs(sink);
+  allocator_.set_obs(sink);
+  server_ctrl_.set_obs(sink);
 }
 
 double SprintConController::bid_batch_budget_w(double budget_w,
@@ -102,7 +110,34 @@ void SprintConController::step(const sim::SimClock& clock) {
   const double p_inter = server_ctrl_.estimate_interactive_power_w();
 
   // --- safety state -------------------------------------------------------
-  const SprintState state = safety_.update(path_.breaker(), path_.battery());
+  const SprintState state =
+      safety_.update(path_.breaker(), path_.battery(), now);
+
+  // Battery SOC threshold crossings (reporting only, both directions).
+  if (obs_ != nullptr) {
+    static constexpr double kSocMarks[] = {0.75, 0.5, 0.25};
+    const double soc = path_.battery().state_of_charge();
+    if (prev_soc_ >= 0.0 && soc != prev_soc_) {
+      const auto crossed = [&](double mark) {
+        return (prev_soc_ > mark && soc <= mark) ||
+               (prev_soc_ < mark && soc >= mark);
+      };
+      for (const double mark : kSocMarks) {
+        if (crossed(mark)) {
+          obs_->events().emit(now, obs::EventType::kSocThreshold,
+                              soc < prev_soc_ ? "discharge" : "recharge",
+                              {{"threshold", mark}, {"soc", soc}});
+        }
+      }
+      const double reserve = config_.ups_reserve_fraction;
+      if (reserve > 0.0 && crossed(reserve)) {
+        obs_->events().emit(now, obs::EventType::kSocThreshold,
+                            soc < prev_soc_ ? "reserve-reached" : "recharge",
+                            {{"threshold", reserve}, {"soc", soc}});
+      }
+    }
+    prev_soc_ = soc;
+  }
 
   // --- allocator ----------------------------------------------------------
   allocator_.observe_interactive_power(p_inter);
@@ -153,9 +188,21 @@ void SprintConController::step(const sim::SimClock& clock) {
   if (clock.every(config_.ups_period_s)) {
     // In the conserve modes the workload caps drive p_total down to P_cb,
     // so this command naturally decays toward zero discharge.
+    const double prev_cmd = ups_command_w_;
     ups_command_w_ = config_.ups_controller_enabled
                          ? ups_ctrl_.command_w(p_total, p_cb_eff_w_)
                          : 0.0;
+    // Report setpoint moves above noise (0.5 W) — per-tick jitter from the
+    // power monitor would otherwise flood the log.
+    if (obs_ != nullptr && std::abs(ups_command_w_ - prev_cmd) > 0.5) {
+      obs_->events().emit(now, obs::EventType::kUpsSetpointChange,
+                          ups_command_w_ > prev_cmd ? "demand-rise"
+                                                    : "demand-fall",
+                          {{"setpoint_w", ups_command_w_},
+                           {"prev_w", prev_cmd},
+                           {"p_total_w", p_total},
+                           {"p_cb_w", p_cb_eff_w_}});
+    }
   }
 
   // --- physical power flows --------------------------------------------------
@@ -165,6 +212,11 @@ void SprintConController::step(const sim::SimClock& clock) {
     // Demand nobody could serve: the rack browns out.
     outage_ = true;
     rack_.set_all_powered(false);
+    if (obs_ != nullptr) {
+      obs_->events().emit(now, obs::EventType::kOutage, "unserved-demand",
+                          {{"unserved_w", flows.unserved_w},
+                           {"p_total_w", p_total}});
+    }
   }
 }
 

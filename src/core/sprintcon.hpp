@@ -56,6 +56,11 @@ class SprintConController : public sim::Component {
   PowerLoadAllocator& allocator() noexcept { return allocator_; }
   ServerPowerController& server_controller() noexcept { return server_ctrl_; }
 
+  /// Attach an observability sink; forwarded to the safety monitor, the
+  /// allocator and the MPC. The controller itself then emits UPS setpoint
+  /// changes, battery SOC threshold crossings and the outage event.
+  void set_obs(obs::ObsSink* sink);
+
  private:
   /// Budget split in the bidding (degraded) modes.
   double bid_batch_budget_w(double budget_w, double p_inter_w, double now_s);
@@ -73,6 +78,9 @@ class SprintConController : public sim::Component {
   double ups_command_w_ = 0.0;
   bool outage_ = false;
   bool started_ = false;
+
+  obs::ObsSink* obs_ = nullptr;
+  double prev_soc_ = -1.0;  ///< SOC at the previous tick (< 0 = unseen)
 };
 
 }  // namespace sprintcon::core

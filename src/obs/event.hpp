@@ -1,0 +1,55 @@
+// Structured observability events.
+//
+// An Event is a timestamped, typed record with a fixed-capacity set of
+// key/value fields. Keys and causes are `const char*` pointing at
+// static-duration strings (literals), so emitting an event never touches
+// the heap — the hot-path contract the EventLog ring buffer relies on.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace sprintcon::obs {
+
+/// Taxonomy of everything the controllers report. Extend here (and in
+/// to_string) when a new subsystem grows events; see DESIGN.md §8.
+enum class EventType : std::uint8_t {
+  kSprintStateChange,   ///< safety state machine transition (with cause)
+  kAllocatorDecision,   ///< power load allocator adaptation (P_cb/P_batch)
+  kUpsSetpointChange,   ///< UPS discharge setpoint moved
+  kSocThreshold,        ///< battery SOC crossed a reporting threshold
+  kCbOverloadEnter,     ///< CB started delivering above rated power
+  kCbOverloadExit,      ///< CB back at or below rated power
+  kCbTrip,              ///< CB tripped open
+  kCbReclose,           ///< CB cooled down and re-closed
+  kOutage,              ///< unserved demand shut the rack down
+  kCustom,              ///< application-defined
+};
+
+const char* to_string(EventType type) noexcept;
+
+/// Fixed field capacity per event; excess fields are dropped (never
+/// allocated). Six covers every emitter in the tree.
+inline constexpr std::size_t kMaxEventFields = 6;
+
+/// One key/value pair. `key` must outlive the log (use string literals).
+struct EventField {
+  const char* key = nullptr;
+  double value = 0.0;
+};
+
+/// One structured record. POD; copied by value into the ring buffer.
+struct Event {
+  double t_s = 0.0;            ///< emitter-domain timestamp (sim seconds)
+  std::uint64_t seq = 0;       ///< monotone sequence number (log-assigned)
+  EventType type = EventType::kCustom;
+  const char* cause = nullptr; ///< static string or nullptr
+  std::uint8_t num_fields = 0;
+  std::array<EventField, kMaxEventFields> fields{};
+
+  /// Value of a field by key; `fallback` when absent.
+  double field(const char* key, double fallback = 0.0) const noexcept;
+};
+
+}  // namespace sprintcon::obs

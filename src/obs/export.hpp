@@ -1,0 +1,67 @@
+// Exporters: JSON-lines event dump, metrics snapshot JSON, and the
+// combined RunReport consumed by examples/facility_dashboard and
+// scripts/report_check.py.
+//
+// Doubles are printed with %.17g so a dump/parse cycle is lossless; the
+// round-trip is covered by obs_test. The JSONL parser accepts exactly the
+// restricted format write_events_jsonl produces (one flat object per
+// line) — it is a fixture for tests and tooling, not a general JSON
+// parser.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "metrics/summary.hpp"
+#include "obs/event.hpp"
+#include "obs/metrics_registry.hpp"
+
+namespace sprintcon::obs {
+
+/// One event as a single-line JSON object, e.g.
+/// {"t":1.25,"seq":3,"type":"sprint_state","cause":"cb-near-trip","fields":{"from":0,"to":1}}
+std::string event_to_json(const Event& event);
+
+/// One event_to_json() line per event.
+void write_events_jsonl(std::ostream& out, std::span<const Event> events);
+
+/// Event re-read from a JSONL dump (string-typed, heap-backed — the
+/// in-memory Event uses static strings, so parsing yields this instead).
+struct ParsedEvent {
+  double t_s = 0.0;
+  std::uint64_t seq = 0;
+  std::string type;
+  std::string cause;
+  std::vector<std::pair<std::string, double>> fields;
+
+  double field(std::string_view key, double fallback = 0.0) const;
+};
+
+/// Parse a write_events_jsonl() stream; throws InvalidArgumentError on
+/// lines that do not match the emitted format. Blank lines are skipped.
+std::vector<ParsedEvent> parse_events_jsonl(std::istream& in);
+
+/// Metrics snapshot as a JSON object {"counters":{...},"gauges":{...},
+/// "histograms":{name:{count,sum,mean,min,max,p50,p95,p99,buckets}}}.
+std::string metrics_to_json(const MetricsSnapshot& snapshot);
+
+/// RunSummary as a flat JSON object.
+std::string summary_to_json(const metrics::RunSummary& summary);
+
+/// Everything one observed run produced: the paper-facing summary, the
+/// metric snapshot and the retained event timeline.
+struct RunReport {
+  std::string label;
+  metrics::RunSummary summary;
+  MetricsSnapshot metrics;
+  std::vector<Event> events;
+
+  std::string to_json() const;
+};
+
+}  // namespace sprintcon::obs

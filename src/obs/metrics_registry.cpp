@@ -1,0 +1,151 @@
+#include "obs/metrics_registry.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/validation.hpp"
+
+namespace sprintcon::obs {
+
+namespace {
+
+// Relaxed CAS update for atomic<double> extrema.
+template <typename Cmp>
+void update_extremum(std::atomic<double>& slot, double v, Cmp better) {
+  double cur = slot.load(std::memory_order_relaxed);
+  while (better(v, cur) &&
+         !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+int Histogram::bucket_index(double v) noexcept {
+  if (!(v > 0.0)) return 0;  // non-positive and NaN land in the first bucket
+  int exp = 0;
+  std::frexp(v, &exp);  // v = m * 2^exp, m in [0.5, 1)
+  return std::clamp(exp - kMinExp, 0, kBuckets - 1);
+}
+
+double Histogram::bucket_upper_edge(int i) noexcept {
+  return std::ldexp(1.0, i + kMinExp);
+}
+
+void Histogram::record(double v) noexcept {
+  buckets_[static_cast<std::size_t>(bucket_index(v))].fetch_add(
+      1, std::memory_order_relaxed);
+  // First writer initializes both extrema via count 0 -> 1 transition
+  // being unobservable race-free is not required: extrema CAS loops accept
+  // any interleaving because they only ever move toward the true extremum.
+  if (count_.fetch_add(1, std::memory_order_relaxed) == 0) {
+    // Seed so the CAS loops compare against a real sample, not 0.0.
+    min_.store(v, std::memory_order_relaxed);
+    max_.store(v, std::memory_order_relaxed);
+  }
+  update_extremum(min_, v, [](double a, double b) { return a < b; });
+  update_extremum(max_, v, [](double a, double b) { return a > b; });
+  sum_.fetch_add(v, std::memory_order_relaxed);
+}
+
+double Histogram::mean() const noexcept {
+  const std::uint64_t n = count();
+  return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+}
+
+double Histogram::min() const noexcept {
+  return count() == 0 ? 0.0 : min_.load(std::memory_order_relaxed);
+}
+
+double Histogram::max() const noexcept {
+  return count() == 0 ? 0.0 : max_.load(std::memory_order_relaxed);
+}
+
+double Histogram::percentile(double p) const noexcept {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  const double target = p * static_cast<double>(n);
+  std::uint64_t cum = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    cum += bucket_count(i);
+    if (static_cast<double>(cum) >= target && cum > 0) {
+      return std::clamp(bucket_upper_edge(i), min(), max());
+    }
+  }
+  return max();
+}
+
+std::uint64_t MetricsSnapshot::counter(std::string_view name,
+                                       std::uint64_t fallback) const {
+  const auto it = counters.find(std::string(name));
+  return it == counters.end() ? fallback : it->second;
+}
+
+double MetricsSnapshot::gauge(std::string_view name, double fallback) const {
+  const auto it = gauges.find(std::string(name));
+  return it == gauges.end() ? fallback : it->second;
+}
+
+void MetricsRegistry::expect_unique(std::string_view name,
+                                    const char* kind) const {
+  const bool taken = (counters_.find(name) != counters_.end() &&
+                      std::string_view(kind) != "counter") ||
+                     (gauges_.find(name) != gauges_.end() &&
+                      std::string_view(kind) != "gauge") ||
+                     (histograms_.find(name) != histograms_.end() &&
+                      std::string_view(kind) != "histogram");
+  SPRINTCON_EXPECTS(!taken, "metric name already registered as another kind: " +
+                                std::string(name));
+}
+
+template <typename T>
+T& MetricsRegistry::get_or_create(
+    std::map<std::string, std::unique_ptr<T>, std::less<>>& map,
+    std::string_view name, const char* kind) {
+  SPRINTCON_EXPECTS(!name.empty(), "metric name must be non-empty");
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = map.find(name);
+  if (it != map.end()) return *it->second;
+  expect_unique(name, kind);
+  auto [pos, inserted] =
+      map.emplace(std::string(name), std::make_unique<T>());
+  return *pos->second;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  return get_or_create(counters_, name, "counter");
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  return get_or_create(gauges_, name, "gauge");
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  return get_or_create(histograms_, name, "histogram");
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot out;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, c] : counters_) out.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) out.gauges[name] = g->value();
+  for (const auto& [name, h] : histograms_) {
+    MetricsSnapshot::HistogramStats s;
+    s.count = h->count();
+    s.sum = h->sum();
+    s.mean = h->mean();
+    s.min = h->min();
+    s.max = h->max();
+    s.p50 = h->percentile(0.50);
+    s.p95 = h->percentile(0.95);
+    s.p99 = h->percentile(0.99);
+    for (int i = 0; i < Histogram::kBuckets; ++i) {
+      const std::uint64_t n = h->bucket_count(i);
+      if (n > 0) s.buckets.emplace_back(Histogram::bucket_upper_edge(i), n);
+    }
+    out.histograms[name] = std::move(s);
+  }
+  return out;
+}
+
+}  // namespace sprintcon::obs

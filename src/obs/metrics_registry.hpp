@@ -1,0 +1,136 @@
+// Metrics registry: counters, gauges and log-scale histograms.
+//
+// Registration (name -> metric) takes a mutex; the returned handles are
+// stable for the registry's lifetime and their update paths are lock-free
+// atomics, so metrics may be emitted concurrently from parallel facility
+// workers (TSan-clean). Emitters cache handles at wiring time — the hot
+// path never does a name lookup.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace sprintcon::obs {
+
+/// Monotone event count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins scalar.
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Histogram with fixed base-2 log-scale buckets. Bucket i covers values
+/// with binary exponent i + kMinExp, i.e. (2^(i+kMinExp-1), 2^(i+kMinExp)];
+/// the range spans ~1e-6 .. ~8.8e12, wide enough for microseconds through
+/// watt-scale magnitudes. record() is wait-free apart from min/max CAS.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 64;
+  static constexpr int kMinExp = -20;
+
+  void record(double v) noexcept;
+
+  std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
+  double mean() const noexcept;
+  /// Smallest / largest recorded value (0 when empty).
+  double min() const noexcept;
+  double max() const noexcept;
+  /// Approximate quantile from the bucket boundaries, clamped to the
+  /// recorded [min, max]. p in [0, 1].
+  double percentile(double p) const noexcept;
+  std::uint64_t bucket_count(int i) const noexcept {
+    return buckets_[static_cast<std::size_t>(i)].load(
+        std::memory_order_relaxed);
+  }
+  /// Upper edge of bucket i (2^(i + kMinExp)).
+  static double bucket_upper_edge(int i) noexcept;
+  static int bucket_index(double v) noexcept;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};  // valid only when count_ > 0
+  std::atomic<double> max_{0.0};
+};
+
+/// Point-in-time copy of every registered metric, for export/reporting.
+struct MetricsSnapshot {
+  struct HistogramStats {
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double mean = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+    /// Non-empty buckets as (upper_edge, count), ascending.
+    std::vector<std::pair<double, std::uint64_t>> buckets;
+  };
+
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramStats> histograms;
+
+  bool empty() const noexcept {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+  std::uint64_t counter(std::string_view name,
+                        std::uint64_t fallback = 0) const;
+  double gauge(std::string_view name, double fallback = 0.0) const;
+};
+
+/// Name -> metric store. A name identifies exactly one metric kind;
+/// re-requesting it with a different kind throws InvalidArgumentError.
+class MetricsRegistry {
+ public:
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  MetricsSnapshot snapshot() const;
+
+ private:
+  template <typename T>
+  T& get_or_create(std::map<std::string, std::unique_ptr<T>, std::less<>>& map,
+                   std::string_view name, const char* kind);
+  void expect_unique(std::string_view name, const char* kind) const;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace sprintcon::obs

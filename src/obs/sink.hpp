@@ -1,0 +1,56 @@
+// ObsSink: the single observability handle threaded through the stack.
+//
+// A sink bundles the per-rig EventLog with a MetricsRegistry. Subsystems
+// accept a nullable `ObsSink*` via set_obs(); a null sink means
+// observability is disabled and every emit site costs exactly one
+// predictable branch (`if (obs_)`), which the perf_controller benchmark
+// holds to < 2% on the MPC hot path.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+
+#include "obs/event_log.hpp"
+#include "obs/metrics_registry.hpp"
+
+namespace sprintcon::obs {
+
+class ObsSink {
+ public:
+  explicit ObsSink(std::size_t event_capacity = 4096)
+      : events_(event_capacity) {}
+
+  EventLog& events() noexcept { return events_; }
+  const EventLog& events() const noexcept { return events_; }
+  MetricsRegistry& metrics() noexcept { return metrics_; }
+  const MetricsRegistry& metrics() const noexcept { return metrics_; }
+
+ private:
+  EventLog events_;
+  MetricsRegistry metrics_;
+};
+
+/// RAII wall-time probe recording elapsed microseconds into a histogram.
+/// A null histogram disables the timer entirely (the clock is not read),
+/// keeping disabled-mode cost to the construction branch.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* hist) noexcept : hist_(hist) {
+    if (hist_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  ~ScopedTimer() {
+    if (hist_ != nullptr) {
+      const auto elapsed = std::chrono::steady_clock::now() - start_;
+      hist_->record(
+          std::chrono::duration<double, std::micro>(elapsed).count());
+    }
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram* hist_;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+}  // namespace sprintcon::obs

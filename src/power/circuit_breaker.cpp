@@ -22,11 +22,18 @@ CircuitBreaker::CircuitBreaker(double rated_power_w, TripCurve curve)
 double CircuitBreaker::deliver(double power_w, double dt_s) {
   SPRINTCON_EXPECTS(power_w >= 0.0, "delivered power must be non-negative");
   SPRINTCON_EXPECTS(dt_s > 0.0, "dt must be positive");
+  elapsed_s_ += dt_s;
 
   if (open_) {
     // Cooling while open; re-close when recovered.
     theta_ *= std::exp(-dt_s / curve_.cooling_tau_s());
-    if (ready_to_close()) open_ = false;
+    if (ready_to_close()) {
+      open_ = false;
+      if (obs_ != nullptr) {
+        obs_->events().emit(elapsed_s_, obs::EventType::kCbReclose, "cooled",
+                            {{"stress", thermal_stress()}});
+      }
+    }
     if (open_) return 0.0;
     // Fall through: deliver in the same tick it re-closes, so a recovered
     // breaker picks the load back up without a dead tick.
@@ -35,13 +42,39 @@ double CircuitBreaker::deliver(double power_w, double dt_s) {
   const double overload = power_w / rated_power_w_;
   if (overload > 1.0) {
     theta_ += curve_.heating_rate(overload) * dt_s;
+    if (!overloaded_) {
+      overloaded_ = true;
+      if (obs_ != nullptr) {
+        obs_->events().emit(elapsed_s_, obs::EventType::kCbOverloadEnter,
+                            "above-rated",
+                            {{"power_w", power_w},
+                             {"stress", thermal_stress()},
+                             {"margin", 1.0 - thermal_stress()}});
+      }
+    }
   } else {
     theta_ *= std::exp(-dt_s / curve_.cooling_tau_s());
+    if (overloaded_) {
+      overloaded_ = false;
+      if (obs_ != nullptr) {
+        obs_->events().emit(elapsed_s_, obs::EventType::kCbOverloadExit,
+                            "at-or-below-rated",
+                            {{"stress", thermal_stress()},
+                             {"margin", 1.0 - thermal_stress()}});
+      }
+    }
   }
 
   if (theta_ >= curve_.trip_threshold()) {
     open_ = true;
     ++trip_count_;
+    overloaded_ = false;  // the trip ends the overload episode
+    if (obs_ != nullptr) {
+      obs_->events().emit(elapsed_s_, obs::EventType::kCbTrip,
+                          "thermal-threshold",
+                          {{"power_w", power_w},
+                           {"trip_count", static_cast<double>(trip_count_)}});
+    }
     return 0.0;  // trips during this interval; conservatively deliver none
   }
   return power_w;

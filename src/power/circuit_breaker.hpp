@@ -8,6 +8,7 @@
 // happens when nobody watches.
 #pragma once
 
+#include "obs/sink.hpp"
 #include "power/trip_curve.hpp"
 
 namespace sprintcon::power {
@@ -47,12 +48,24 @@ class CircuitBreaker {
   /// deliver() loop re-closes automatically at that point.
   bool ready_to_close() const noexcept;
 
+  /// Attach an observability sink (nullptr detaches). deliver() then
+  /// emits overload entry/exit, trip and re-close events, timestamped
+  /// with the breaker's accumulated delivery time.
+  void set_obs(obs::ObsSink* sink) noexcept { obs_ = sink; }
+
+  /// Total simulated seconds deliver() has been called for (the event
+  /// timestamp domain; the breaker has no other notion of time).
+  double elapsed_s() const noexcept { return elapsed_s_; }
+
  private:
   double rated_power_w_;
   TripCurve curve_;
   double theta_ = 0.0;
   bool open_ = false;
   int trip_count_ = 0;
+  bool overloaded_ = false;  ///< currently delivering above rated
+  double elapsed_s_ = 0.0;
+  obs::ObsSink* obs_ = nullptr;
 };
 
 }  // namespace sprintcon::power

@@ -1,6 +1,7 @@
 #include "scenario/facility.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <thread>
 
 #include "common/thread_pool.hpp"
@@ -21,12 +22,17 @@ Facility::Facility(const FacilityConfig& config) : config_(config) {
   for (std::size_t r = 0; r < config.num_racks; ++r) {
     RigConfig rack_cfg = config.rack;
     rack_cfg.seed = config.rack.seed + r;  // distinct workloads per rack
+    rack_cfg.observability = config.observability;
     if (config.staggered) {
       rack_cfg.sprint.schedule_offset_s =
           cycle * static_cast<double>(r) /
           static_cast<double>(config.num_racks);
     }
     rigs_.push_back(std::make_unique<Rig>(rack_cfg));
+  }
+  if (config.observability) {
+    obs_ = std::make_unique<obs::ObsSink>();
+    rack_run_us_ = &obs_->metrics().histogram("facility.rack_run_us");
   }
 }
 
@@ -39,11 +45,37 @@ void Facility::run() {
                             : std::max<std::size_t>(
                                   1, std::thread::hardware_concurrency());
   threads = std::min(threads, rigs_.size());
+  const auto start = std::chrono::steady_clock::now();
+  // The per-rack timer writes to a shared histogram from every worker —
+  // exactly the concurrent-emission path the metrics atomics exist for.
+  const auto run_rig = [this](std::size_t i) {
+    const obs::ScopedTimer timer(rack_run_us_);
+    rigs_[i]->run();
+  };
   if (threads <= 1) {
-    for (auto& rig : rigs_) rig->run();
+    for (std::size_t i = 0; i < rigs_.size(); ++i) run_rig(i);
   } else {
     ThreadPool pool(threads);
-    pool.parallel_for(rigs_.size(), [this](std::size_t i) { rigs_[i]->run(); });
+    pool.parallel_for(rigs_.size(), run_rig);
+    if (obs_ != nullptr) {
+      const ThreadPool::Stats s = pool.stats();
+      auto& m = obs_->metrics();
+      m.counter("pool.tasks_submitted").add(s.tasks_submitted);
+      m.counter("pool.tasks_completed").add(s.tasks_completed);
+      m.gauge("pool.max_queue_depth")
+          .set(static_cast<double>(s.max_queue_depth));
+      m.gauge("pool.total_task_s").set(s.total_task_s);
+      m.gauge("pool.max_task_s").set(s.max_task_s);
+      m.gauge("pool.threads").set(static_cast<double>(threads));
+    }
+  }
+  if (obs_ != nullptr) {
+    auto& m = obs_->metrics();
+    m.counter("facility.racks").add(rigs_.size());
+    m.gauge("facility.run_s")
+        .set(std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                           start)
+                 .count());
   }
   ran_ = true;
 }
@@ -95,6 +127,19 @@ std::vector<metrics::RunSummary> Facility::summaries() const {
   std::vector<metrics::RunSummary> out;
   out.reserve(rigs_.size());
   for (const auto& rig : rigs_) out.push_back(rig->summary());
+  return out;
+}
+
+std::vector<obs::RunReport> Facility::reports() const {
+  SPRINTCON_ENSURES(config_.observability,
+                    "Facility::reports() needs FacilityConfig::observability");
+  std::vector<obs::RunReport> out;
+  out.reserve(rigs_.size());
+  for (std::size_t i = 0; i < rigs_.size(); ++i) {
+    obs::RunReport r = rigs_[i]->report();
+    r.label += "/rack" + std::to_string(i);
+    out.push_back(std::move(r));
+  }
   return out;
 }
 

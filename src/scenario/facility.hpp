@@ -29,6 +29,10 @@ struct FacilityConfig {
   std::size_t run_threads = 0;
   /// Per-rack configuration template; each rack gets seed + rack index.
   RigConfig rack;
+  /// Observability: gives every rig its own ObsSink (events + metrics)
+  /// plus a facility-level sink aggregating rack run times and thread
+  /// pool statistics; exported through reports().
+  bool observability = false;
 
   void validate() const;
 };
@@ -57,11 +61,20 @@ class Facility {
   /// Per-rack summaries.
   std::vector<metrics::RunSummary> summaries() const;
 
+  /// Per-rack structured reports (requires config.observability).
+  std::vector<obs::RunReport> reports() const;
+
+  /// Facility-level sink (rack run-time histogram, thread pool stats);
+  /// null unless config.observability is set.
+  const obs::ObsSink* obs() const noexcept { return obs_.get(); }
+
  private:
   TimeSeries sum_channel(const char* channel, const char* name) const;
 
   FacilityConfig config_;
   std::vector<std::unique_ptr<Rig>> rigs_;
+  std::unique_ptr<obs::ObsSink> obs_;
+  obs::Histogram* rack_run_us_ = nullptr;
   bool ran_ = false;
 };
 

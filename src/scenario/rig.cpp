@@ -144,6 +144,13 @@ Rig::Rig(const RigConfig& config) : config_(config) {
       break;
   }
 
+  // --- observability ----------------------------------------------------------
+  if (config.observability) {
+    obs_ = std::make_unique<obs::ObsSink>();
+    path_->breaker().set_obs(obs_.get());
+    if (sprintcon_) sprintcon_->set_obs(obs_.get());
+  }
+
   // --- probes ------------------------------------------------------------------
   auto& rec = sim_->recorder();
   rec.add_probe("total_power_w", [this] { return rack_->total_power_w(); });
@@ -283,6 +290,17 @@ metrics::RunSummary Rig::summary() const {
   }
   out.worst_completion_s = worst;
   out.normalized_time_use = worst / config_.batch_deadline_s;
+  return out;
+}
+
+obs::RunReport Rig::report() const {
+  SPRINTCON_ENSURES(obs_ != nullptr,
+                    "Rig::report() needs RigConfig::observability = true");
+  obs::RunReport out;
+  out.label = to_string(config_.policy);
+  out.summary = summary();
+  out.metrics = obs_->metrics().snapshot();
+  out.events = obs_->events().snapshot();
   return out;
 }
 

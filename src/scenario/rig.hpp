@@ -20,6 +20,8 @@
 #include "baselines/sgct.hpp"
 #include "core/sprintcon.hpp"
 #include "metrics/summary.hpp"
+#include "obs/export.hpp"
+#include "obs/sink.hpp"
 #include "power/hybrid_store.hpp"
 #include "power/power_path.hpp"
 #include "workload/request_queue.hpp"
@@ -81,6 +83,11 @@ struct RigConfig {
   /// sprint.thermal_guard); defaults keep sustained peak below throttle.
   server::ThermalSpec thermal;
   std::uint64_t seed = 42;
+  /// Attach an ObsSink to the rig: structured events from the safety
+  /// monitor / allocator / UPS loop / breaker plus MPC solver metrics,
+  /// exported through report(). Off by default — the sink costs one
+  /// branch per emit site when absent.
+  bool observability = false;
 
   RigConfig();
   void validate() const;
@@ -113,6 +120,14 @@ class Rig {
   /// Metrics over everything recorded so far.
   metrics::RunSummary summary() const;
 
+  /// Observability sink; null unless config.observability is set.
+  obs::ObsSink* obs() noexcept { return obs_.get(); }
+  const obs::ObsSink* obs() const noexcept { return obs_.get(); }
+
+  /// Full structured report: summary + metrics snapshot + event timeline.
+  /// Requires config.observability (throws InvalidStateError otherwise).
+  obs::RunReport report() const;
+
   /// Request-queue sources when use_request_queues is set (observers; the
   /// cores own them). Empty otherwise.
   const std::vector<const workload::RequestQueueSource*>& request_queues()
@@ -129,6 +144,7 @@ class Rig {
   std::unique_ptr<baselines::SgctController> sgct_;
   std::unique_ptr<baselines::PowerCapController> cap_;
   std::vector<const workload::RequestQueueSource*> queues_;
+  std::unique_ptr<obs::ObsSink> obs_;
   bool ran_ = false;
 };
 

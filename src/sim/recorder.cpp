@@ -11,6 +11,7 @@ TraceRecorder::TraceRecorder(double dt_s) : dt_s_(dt_s) {
 void TraceRecorder::add_probe(std::string name, std::function<double()> probe) {
   SPRINTCON_EXPECTS(static_cast<bool>(probe), "probe must be callable");
   SPRINTCON_EXPECTS(!has(name), "duplicate probe name: " + name);
+  index_.emplace(name, series_.size());
   probes_.push_back(std::move(probe));
   series_.emplace_back(std::move(name), dt_s_);
 }
@@ -21,15 +22,14 @@ void TraceRecorder::sample() {
 }
 
 bool TraceRecorder::has(std::string_view name) const {
-  for (const auto& s : series_)
-    if (s.name() == name) return true;
-  return false;
+  return index_.find(name) != index_.end();
 }
 
 const TimeSeries& TraceRecorder::series(std::string_view name) const {
-  for (const auto& s : series_)
-    if (s.name() == name) return s;
-  throw InvalidArgumentError("unknown trace channel: " + std::string(name));
+  const auto it = index_.find(name);
+  if (it == index_.end())
+    throw InvalidArgumentError("unknown trace channel: " + std::string(name));
+  return series_[it->second];
 }
 
 std::vector<std::string> TraceRecorder::channel_names() const {

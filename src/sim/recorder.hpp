@@ -5,8 +5,11 @@
 // and the figure-reproduction benches consume.
 #pragma once
 
+#include <cstddef>
 #include <functional>
 #include <string>
+#include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "common/time_series.hpp"
@@ -34,9 +37,22 @@ class TraceRecorder {
   std::vector<const TimeSeries*> all_series() const;
 
  private:
+  /// Transparent hash so string_view lookups need no std::string temporary.
+  struct StringHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const noexcept {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
   double dt_s_;
   std::vector<std::function<double()>> probes_;
   std::vector<TimeSeries> series_;
+  /// name -> index into series_/probes_; rigs register dozens of probes
+  /// and the metrics layer queries them by name per summary field, so
+  /// lookups are O(1) instead of a linear scan over the channels.
+  std::unordered_map<std::string, std::size_t, StringHash, std::equal_to<>>
+      index_;
 };
 
 }  // namespace sprintcon::sim

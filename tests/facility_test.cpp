@@ -126,6 +126,43 @@ TEST(Facility, ParallelRunIsBitIdenticalToSequential) {
   }
 }
 
+TEST(Facility, ObservedParallelRunAggregatesMetrics) {
+  // Three rigs on three workers, all recording into the shared facility
+  // histogram from their worker threads (the TSan-covered path).
+  FacilityConfig cfg = small_facility(true);
+  cfg.observability = true;
+  cfg.run_threads = 3;
+  Facility facility(cfg);
+  facility.run();
+
+  ASSERT_NE(facility.obs(), nullptr);
+  const obs::MetricsSnapshot snap = facility.obs()->metrics().snapshot();
+  EXPECT_EQ(snap.counter("facility.racks"), 3u);
+  EXPECT_GT(snap.gauge("facility.run_s"), 0.0);
+  EXPECT_EQ(snap.counter("pool.tasks_submitted"), 3u);
+  EXPECT_EQ(snap.counter("pool.tasks_completed"), 3u);
+  EXPECT_DOUBLE_EQ(snap.gauge("pool.threads"), 3.0);
+  ASSERT_EQ(snap.histograms.count("facility.rack_run_us"), 1u);
+  EXPECT_EQ(snap.histograms.at("facility.rack_run_us").count, 3u);
+
+  const auto reports = facility.reports();
+  ASSERT_EQ(reports.size(), 3u);
+  for (std::size_t r = 0; r < reports.size(); ++r) {
+    EXPECT_EQ(reports[r].label,
+              std::string("SprintCon/rack") + std::to_string(r));
+    EXPECT_GT(reports[r].metrics.counter("mpc.solves.structured"), 0u);
+    EXPECT_FALSE(reports[r].events.empty());
+  }
+}
+
+TEST(Facility, UnobservedFacilityHasNoSink) {
+  FacilityConfig cfg = small_facility(false, 2);
+  Facility facility(cfg);
+  facility.run();
+  EXPECT_EQ(facility.obs(), nullptr);
+  EXPECT_THROW(facility.reports(), InvalidStateError);
+}
+
 TEST(Facility, AggregationBeforeRunThrows) {
   Facility facility(small_facility(true));
   EXPECT_THROW(facility.facility_cb_power(), InvalidStateError);

@@ -109,5 +109,28 @@ TEST(Recorder, ChannelEnumeration) {
   EXPECT_EQ(rec.all_series().size(), 2u);
 }
 
+TEST(Recorder, IndexedLookupSurvivesManyProbes) {
+  // The name -> index map must keep every channel addressable (and keep
+  // throwing on unknown names) well past the handful a rig registers.
+  TraceRecorder rec(1.0);
+  constexpr int kProbes = 200;
+  for (int i = 0; i < kProbes; ++i) {
+    const double value = static_cast<double>(i);
+    rec.add_probe("probe_" + std::to_string(i), [value] { return value; });
+  }
+  rec.sample();
+  for (int i = 0; i < kProbes; ++i) {
+    const std::string name = "probe_" + std::to_string(i);
+    ASSERT_TRUE(rec.has(name));
+    const TimeSeries& s = rec.series(name);
+    EXPECT_EQ(s.name(), name);
+    EXPECT_DOUBLE_EQ(s[0], static_cast<double>(i));
+  }
+  // string_view lookups hit the transparent hash path.
+  EXPECT_TRUE(rec.has(std::string_view("probe_42")));
+  EXPECT_FALSE(rec.has(std::string_view("probe_200")));
+  EXPECT_THROW(rec.series("probe_200"), sprintcon::InvalidArgumentError);
+}
+
 }  // namespace
 }  // namespace sprintcon::sim
