@@ -6,6 +6,12 @@
 // dumps the same data for scripts/report_check.py.
 //
 //   ./build/examples/facility_dashboard [num_racks] [--json FILE]
+//                                       [--faults PLAN]
+//
+// `--faults PLAN` loads a fault plan (see src/fault/fault.hpp for the
+// format) and injects it into every rack — the dashboard then shows how
+// the floor degrades (and recovers) under meter, actuator, UPS, breaker
+// or utility faults.
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -13,6 +19,7 @@
 #include <vector>
 
 #include "common/table.hpp"
+#include "fault/fault.hpp"
 #include "obs/export.hpp"
 #include "scenario/facility.hpp"
 
@@ -39,16 +46,20 @@ int main(int argc, char** argv) {
 
   std::size_t racks = 4;
   std::string json_path;
+  std::string faults_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--json" && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (arg == "--faults" && i + 1 < argc) {
+      faults_path = argv[++i];
     } else {
       racks = static_cast<std::size_t>(std::atoi(arg.c_str()));
     }
   }
   if (racks == 0 || racks > 16) {
-    std::cerr << "usage: facility_dashboard [1..16 racks] [--json FILE]\n";
+    std::cerr << "usage: facility_dashboard [1..16 racks] [--json FILE]"
+                 " [--faults PLAN]\n";
     return 1;
   }
 
@@ -56,6 +67,18 @@ int main(int argc, char** argv) {
   config.num_racks = racks;
   config.staggered = true;
   config.observability = true;
+  if (!faults_path.empty()) {
+    try {
+      config.rack.faults = fault::FaultPlan::load(faults_path);
+    } catch (const std::exception& e) {
+      std::cerr << "bad fault plan " << faults_path << ": " << e.what()
+                << "\n";
+      return 1;
+    }
+    std::cout << "injecting " << config.rack.faults.faults.size()
+              << " scripted fault(s) from " << faults_path
+              << " into every rack\n";
+  }
   std::cout << "running " << racks
             << " SprintCon racks with staggered overload windows...\n\n";
   scenario::Facility facility(config);
@@ -98,6 +121,22 @@ int main(int argc, char** argv) {
       std::cout << ", step p95 " << format_fixed(it->second.p95, 1) << " us";
     }
     std::cout << "\n";
+  }
+
+  // Fault timeline: which scripted fault fired when, per rack.
+  if (!faults_path.empty()) {
+    std::cout << "\nfault timeline:\n";
+    for (std::size_t r = 0; r < reports.size(); ++r) {
+      for (const obs::Event& e : reports[r].events) {
+        if (e.type != obs::EventType::kFaultInjected &&
+            e.type != obs::EventType::kFaultCleared) {
+          continue;
+        }
+        std::cout << "  rack " << r << " t=" << format_fixed(e.t_s, 0)
+                  << "s " << obs::to_string(e.type) << " "
+                  << (e.cause != nullptr ? e.cause : "?") << "\n";
+      }
+    }
   }
 
   const obs::MetricsSnapshot fac = facility.obs()->metrics().snapshot();

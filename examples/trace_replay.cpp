@@ -6,17 +6,21 @@
 // the trace_io reader, and runs a SprintCon-controlled rack whose
 // interactive cores replay it. Usage:
 //
-//   ./build/examples/trace_replay [trace.csv]
+//   ./build/examples/trace_replay [trace.csv] [--faults PLAN]
 //
-// With an argument, the file is loaded instead of the synthesized trace
-// (one value column, or time_s,value rows).
+// With a csv argument, the file is loaded instead of the synthesized
+// trace (one value column, or time_s,value rows). `--faults PLAN` loads
+// a fault plan (src/fault/fault.hpp) and replays the trace under it —
+// handy for reproducing a production incident against a recorded load.
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <sstream>
+#include <string>
 
 #include "common/rng.hpp"
 #include "core/sprintcon.hpp"
+#include "fault/injector.hpp"
 #include "sim/simulation.hpp"
 #include "workload/batch_profile.hpp"
 #include "workload/trace_io.hpp"
@@ -24,12 +28,36 @@
 int main(int argc, char** argv) {
   using namespace sprintcon;
 
+  std::string csv_path;
+  std::string faults_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--faults" && i + 1 < argc) {
+      faults_path = argv[++i];
+    } else {
+      csv_path = arg;
+    }
+  }
+
+  fault::FaultPlan plan;
+  if (!faults_path.empty()) {
+    try {
+      plan = fault::FaultPlan::load(faults_path);
+    } catch (const std::exception& e) {
+      std::cerr << "bad fault plan " << faults_path << ": " << e.what()
+                << "\n";
+      return 1;
+    }
+    std::cout << "replaying under " << plan.faults.size()
+              << " scripted fault(s) from " << faults_path << "\n";
+  }
+
   // --- obtain a trace ---------------------------------------------------------
   workload::RecordedTrace trace;
-  if (argc > 1) {
-    trace = workload::read_trace_csv_file(argv[1]);
+  if (!csv_path.empty()) {
+    trace = workload::read_trace_csv_file(csv_path.c_str());
     std::cout << "loaded " << trace.samples.size() << " samples (dt="
-              << trace.dt_s << " s) from " << argv[1] << "\n";
+              << trace.dt_s << " s) from " << csv_path << "\n";
   } else {
     // Synthesize a 15-minute request-rate trace with a pronounced burst in
     // the middle — the kind of shape a Wikipedia frontend records.
@@ -86,7 +114,19 @@ int main(int argc, char** argv) {
 
   sim::Simulation sim(1.0);
   sim.add(rack);
+  std::unique_ptr<fault::FaultInjector> injector;
+  std::unique_ptr<fault::FaultActuatorStage> actuators;
+  if (!plan.empty()) {
+    injector = std::make_unique<fault::FaultInjector>(plan, /*seed=*/1729,
+                                                      rack, path);
+    sim.add(*injector);
+    sprintcon.set_fault(injector.get());
+  }
   sim.add(sprintcon);
+  if (injector) {
+    actuators = std::make_unique<fault::FaultActuatorStage>(*injector);
+    sim.add(*actuators);
+  }
   sim.run_until(900.0);
 
   std::cout << "\nafter a 15-minute sprint on the replayed trace:\n"
@@ -107,5 +147,8 @@ int main(int argc, char** argv) {
                }()
             << "\n  sprint state:         " << core::to_string(sprintcon.state())
             << "\n";
+  if (injector) {
+    std::cout << "  fault activations:    " << injector->activations() << "\n";
+  }
   return 0;
 }

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Regenerate the golden-trace snapshot (tests/golden/canonical_trace.jsonl).
+
+The golden_trace_test compares the canonical rig's downsampled channels
+against the checked-in snapshot; after an *intentional* behavior change,
+run this script to rebuild the test and rewrite the snapshot:
+
+    python3 scripts/update_golden.py [--build-dir build]
+
+The script then re-runs the test in verification mode so a stale write
+(or nondeterminism) is caught immediately.
+"""
+
+import argparse
+import os
+import subprocess
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+GOLDEN = os.path.join(REPO, "tests", "golden", "canonical_trace.jsonl")
+
+
+def run(cmd, **kwargs):
+    print("+ " + " ".join(cmd), flush=True)
+    subprocess.run(cmd, check=True, cwd=REPO, **kwargs)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", default="build",
+                        help="CMake build directory (default: build)")
+    args = parser.parse_args()
+
+    build = os.path.join(REPO, args.build_dir)
+    if not os.path.isdir(build):
+        run(["cmake", "-B", build, "-S", REPO,
+             "-DCMAKE_BUILD_TYPE=RelWithDebInfo"])
+    run(["cmake", "--build", build, "-j", str(os.cpu_count() or 2),
+         "--target", "golden_trace_test"])
+
+    test_bin = os.path.join(build, "tests", "golden_trace_test")
+    if not os.path.exists(test_bin):
+        sys.exit(f"test binary not found: {test_bin}")
+
+    # Pass 1: regenerate the snapshot.
+    env = dict(os.environ, SPRINTCON_GOLDEN_UPDATE="1")
+    run([test_bin, "--gtest_filter=GoldenTrace.MatchesCanonicalRun"],
+        env=env)
+    print(f"wrote {GOLDEN}")
+
+    # Pass 2: verify the fresh snapshot round-trips.
+    run([test_bin])
+    print("golden trace regenerated and verified")
+
+
+if __name__ == "__main__":
+    main()

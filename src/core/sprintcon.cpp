@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/validation.hpp"
+#include "fault/injector.hpp"
 #include "server/platform.hpp"
 
 namespace sprintcon::core {
@@ -106,7 +107,19 @@ void SprintConController::step(const sim::SimClock& clock) {
     return;
   }
 
+  // Physical truth drives the power path; the *measured* power (possibly
+  // corrupted by an attached fault injector) drives every decision below.
   const double p_total = rack_.total_power_w();
+  const double p_meas =
+      fault_ != nullptr ? fault_->meter_power_w(p_total) : p_total;
+
+  if (fault_ != nullptr && fault_->control_dropped()) {
+    // Control-plane hiccup: this tick's decisions never ran. The physics
+    // still advances under the standing commands from the last good tick.
+    resolve_flows(p_total, now, dt);
+    return;
+  }
+
   const double p_inter = server_ctrl_.estimate_interactive_power_w();
 
   // --- safety state -------------------------------------------------------
@@ -156,11 +169,12 @@ void SprintConController::step(const sim::SimClock& clock) {
   // (all workloads under the rated capacity) and the charger refills the
   // store from the headroom it frees, readying the next sprint of the day.
   const bool post_burst = now >= config_.burst_duration_s;
-  double recharge_w = 0.0;
+  recharge_w_ = 0.0;
   if (post_burst && config_.recharge_power_w > 0.0 &&
       path_.battery().state_of_charge() < 1.0) {
-    recharge_w = config_.recharge_power_w;
+    recharge_w_ = config_.recharge_power_w;
   }
+  const double recharge_w = recharge_w_;
 
   // --- server power controller ---------------------------------------------
   if (clock.every(config_.control_period_s)) {
@@ -168,7 +182,16 @@ void SprintConController::step(const sim::SimClock& clock) {
     // The margin absorbs model error and interactive spikes that the CB
     // must not see when the UPS cannot (or should not) cover them.
     constexpr double kCapMargin = 0.05;
-    if (state == SprintState::kUpsConserve || state == SprintState::kEnded) {
+    // A protected breaker that is STILL delivering above rated means the
+    // UPS is not absorbing the excess (e.g. a failed discharge circuit —
+    // see the fault-injection chaos suite): the workloads themselves are
+    // the only remaining defense, so bid everything under P_cb. A healthy
+    // UPS keeps cb_w at rated during protect and never takes this path.
+    const bool ups_shortfall =
+        safety_.cb_protect() &&
+        path_.last().cb_w > config_.cb_rated_w * 1.02;
+    if (state == SprintState::kUpsConserve || state == SprintState::kEnded ||
+        ups_shortfall) {
       // Battery low: P_cb caps ALL workloads; classes bid for power.
       batch_target =
           bid_batch_budget_w(p_cb_eff_w_ * (1.0 - kCapMargin), p_inter, now);
@@ -181,7 +204,7 @@ void SprintConController::step(const sim::SimClock& clock) {
       server_ctrl_.pin_interactive_at_peak();
     }
     p_batch_eff_w_ = batch_target;
-    server_ctrl_.update(p_total, batch_target, now);
+    server_ctrl_.update(p_meas, batch_target, now);
   }
 
   // --- UPS power controller -------------------------------------------------
@@ -190,7 +213,7 @@ void SprintConController::step(const sim::SimClock& clock) {
     // so this command naturally decays toward zero discharge.
     const double prev_cmd = ups_command_w_;
     ups_command_w_ = config_.ups_controller_enabled
-                         ? ups_ctrl_.command_w(p_total, p_cb_eff_w_)
+                         ? ups_ctrl_.command_w(p_meas, p_cb_eff_w_)
                          : 0.0;
     // Report setpoint moves above noise (0.5 W) — per-tick jitter from the
     // power monitor would otherwise flood the log.
@@ -200,22 +223,27 @@ void SprintConController::step(const sim::SimClock& clock) {
                                                     : "demand-fall",
                           {{"setpoint_w", ups_command_w_},
                            {"prev_w", prev_cmd},
-                           {"p_total_w", p_total},
+                           {"p_total_w", p_meas},
                            {"p_cb_w", p_cb_eff_w_}});
     }
   }
 
   // --- physical power flows --------------------------------------------------
+  resolve_flows(p_total, now, dt);
+}
+
+void SprintConController::resolve_flows(double p_total_w, double now_s,
+                                        double dt_s) {
   const power::PowerFlows flows =
-      path_.step(p_total, ups_command_w_, dt, recharge_w);
+      path_.step(p_total_w, ups_command_w_, dt_s, recharge_w_);
   if (flows.unserved_w > 50.0) {
     // Demand nobody could serve: the rack browns out.
     outage_ = true;
     rack_.set_all_powered(false);
     if (obs_ != nullptr) {
-      obs_->events().emit(now, obs::EventType::kOutage, "unserved-demand",
+      obs_->events().emit(now_s, obs::EventType::kOutage, "unserved-demand",
                           {{"unserved_w", flows.unserved_w},
-                           {"p_total_w", p_total}});
+                           {"p_total_w", p_total_w}});
     }
   }
 }

@@ -27,6 +27,10 @@
 #include "server/rack.hpp"
 #include "sim/component.hpp"
 
+namespace sprintcon::fault {
+class FaultInjector;
+}
+
 namespace sprintcon::core {
 
 /// The complete SprintCon controller for one rack.
@@ -61,7 +65,20 @@ class SprintConController : public sim::Component {
   /// changes, battery SOC threshold crossings and the outage event.
   void set_obs(obs::ObsSink* sink);
 
+  /// Attach a fault injector (nullptr detaches). The controller then
+  /// reads its rack power through the injector's meter transform and
+  /// honors dropped control ticks — physics always advances on the true
+  /// demand; only the *decisions* see the faulted measurements.
+  void set_fault(const fault::FaultInjector* injector) noexcept {
+    fault_ = injector;
+  }
+
  private:
+  /// Resolve the physical power flows for this tick (true demand, the
+  /// standing UPS/recharge commands) and convert unserved power into an
+  /// outage. The one piece of step() that runs even on dropped ticks.
+  void resolve_flows(double p_total_w, double now_s, double dt_s);
+
   /// Budget split in the bidding (degraded) modes.
   double bid_batch_budget_w(double budget_w, double p_inter_w, double now_s);
 
@@ -76,9 +93,11 @@ class SprintConController : public sim::Component {
   double p_cb_eff_w_ = 0.0;
   double p_batch_eff_w_ = 0.0;
   double ups_command_w_ = 0.0;
+  double recharge_w_ = 0.0;  ///< standing recharge command (held on drops)
   bool outage_ = false;
   bool started_ = false;
 
+  const fault::FaultInjector* fault_ = nullptr;
   obs::ObsSink* obs_ = nullptr;
   double prev_soc_ = -1.0;  ///< SOC at the previous tick (< 0 = unseen)
 };

@@ -24,6 +24,8 @@ enum class EventType : std::uint8_t {
   kCbTrip,              ///< CB tripped open
   kCbReclose,           ///< CB cooled down and re-closed
   kOutage,              ///< unserved demand shut the rack down
+  kFaultInjected,       ///< a scripted fault activated (cause = fault kind)
+  kFaultCleared,        ///< a scripted fault window ended
   kCustom,              ///< application-defined
 };
 

@@ -17,6 +17,8 @@ const char* to_string(EventType type) noexcept {
     case EventType::kCbTrip: return "cb_trip";
     case EventType::kCbReclose: return "cb_reclose";
     case EventType::kOutage: return "outage";
+    case EventType::kFaultInjected: return "fault_injected";
+    case EventType::kFaultCleared: return "fault_cleared";
     case EventType::kCustom: return "custom";
   }
   return "unknown";

@@ -97,9 +97,27 @@ class Cursor {
       ++pos_;
     }
     SPRINTCON_EXPECTS(pos_ > start, "expected number in event JSON");
-    return std::strtod(std::string(s_.substr(start, pos_ - start)).c_str(),
-                       nullptr);
+    // strtod must consume the whole token: a partial parse (e.g. "nfi",
+    // "--5", "1.2.3") would otherwise be silently accepted as 0 or as its
+    // numeric prefix (found by the fuzz harness, export_fuzz_test).
+    const std::string token(s_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    SPRINTCON_EXPECTS(end == token.c_str() + token.size(),
+                      "malformed number in event JSON: " + token);
+    return v;
   }
+
+  /// Non-negative integer that fits a uint64 (sequence numbers). A plain
+  /// number() + cast would be UB for negative or oversized values.
+  std::uint64_t sequence() {
+    const double v = number();
+    SPRINTCON_EXPECTS(v >= 0.0 && v < 1.8446744073709552e19 && v == v,
+                      "event seq out of range");
+    return static_cast<std::uint64_t>(v);
+  }
+
+  bool consume_null() { return consume_literal("null"); }
 
  private:
   bool consume_literal(std::string_view lit) {
@@ -175,11 +193,18 @@ std::vector<ParsedEvent> parse_events_jsonl(std::istream& in) {
       if (key == "t") {
         e.t_s = c.number();
       } else if (key == "seq") {
-        e.seq = static_cast<std::uint64_t>(c.number());
+        e.seq = c.sequence();
       } else if (key == "type") {
         e.type = c.string();
       } else if (key == "cause") {
-        e.cause = c.at('"') ? c.string() : (c.number(), std::string());
+        if (c.at('"')) {
+          e.cause = c.string();
+        } else {
+          // The writer emits a string or the null literal; anything else
+          // (bare numbers, garbage) must be rejected, not coerced.
+          SPRINTCON_EXPECTS(c.consume_null(),
+                            "event cause must be a string or null");
+        }
       } else if (key == "fields") {
         c.expect('{');
         bool ffirst = true;

@@ -45,6 +45,13 @@ double UpsBattery::discharge(double power_w, double dt_s) {
   return actual;
 }
 
+void UpsBattery::fade_capacity(double keep_fraction) {
+  SPRINTCON_EXPECTS(keep_fraction > 0.0 && keep_fraction <= 1.0,
+                    "capacity fade fraction must be in (0, 1]");
+  capacity_wh_ *= keep_fraction;
+  charge_wh_ = std::min(charge_wh_, capacity_wh_);
+}
+
 double UpsBattery::recharge(double power_w, double dt_s) {
   SPRINTCON_EXPECTS(power_w >= 0.0, "recharge power must be non-negative");
   SPRINTCON_EXPECTS(dt_s > 0.0, "dt must be positive");

@@ -47,6 +47,8 @@ class UpsBattery final : public EnergyStore {
   /// power actually absorbed.
   double recharge(double power_w, double dt_s) override;
 
+  void fade_capacity(double keep_fraction) override;
+
  private:
   double capacity_wh_;
   double max_discharge_w_;

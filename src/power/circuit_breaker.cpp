@@ -19,6 +19,16 @@ CircuitBreaker::CircuitBreaker(double rated_power_w, TripCurve curve)
   SPRINTCON_EXPECTS(rated_power_w > 0.0, "rated power must be positive");
 }
 
+void CircuitBreaker::set_trip_derate(double factor) {
+  SPRINTCON_EXPECTS(factor > 0.0 && factor <= 1.0,
+                    "trip derate must be in (0, 1]");
+  trip_derate_ = factor;
+}
+
+double CircuitBreaker::effective_threshold() const noexcept {
+  return curve_.trip_threshold() * trip_derate_;
+}
+
 double CircuitBreaker::deliver(double power_w, double dt_s) {
   SPRINTCON_EXPECTS(power_w >= 0.0, "delivered power must be non-negative");
   SPRINTCON_EXPECTS(dt_s > 0.0, "dt must be positive");
@@ -65,7 +75,7 @@ double CircuitBreaker::deliver(double power_w, double dt_s) {
     }
   }
 
-  if (theta_ >= curve_.trip_threshold()) {
+  if (theta_ >= effective_threshold()) {
     open_ = true;
     ++trip_count_;
     overloaded_ = false;  // the trip ends the overload episode
@@ -81,7 +91,7 @@ double CircuitBreaker::deliver(double power_w, double dt_s) {
 }
 
 double CircuitBreaker::thermal_stress() const noexcept {
-  return std::clamp(theta_ / curve_.trip_threshold(), 0.0, 1.0);
+  return std::clamp(theta_ / effective_threshold(), 0.0, 1.0);
 }
 
 bool CircuitBreaker::near_trip(double margin) const noexcept {
@@ -91,13 +101,13 @@ bool CircuitBreaker::near_trip(double margin) const noexcept {
 double CircuitBreaker::time_to_trip_s(double power_w) const {
   const double overload = power_w / rated_power_w_;
   if (overload <= 1.0) return std::numeric_limits<double>::infinity();
-  const double headroom = curve_.trip_threshold() - theta_;
+  const double headroom = effective_threshold() - theta_;
   if (headroom <= 0.0) return 0.0;
   return headroom / curve_.heating_rate(overload);
 }
 
 bool CircuitBreaker::ready_to_close() const noexcept {
-  return theta_ <= kRecloseFraction * curve_.trip_threshold();
+  return theta_ <= kRecloseFraction * effective_threshold();
 }
 
 }  // namespace sprintcon::power

@@ -57,7 +57,25 @@ class CircuitBreaker {
   /// timestamp domain; the breaker has no other notion of time).
   double elapsed_s() const noexcept { return elapsed_s_; }
 
+  // --- fault-injection surface (src/fault) --------------------------------
+  /// Derate the trip threshold to `factor` of nominal (aged/drifted
+  /// breaker: trips earlier). thermal_stress(), near_trip() and
+  /// time_to_trip_s() all see the derated threshold, so a safety monitor
+  /// reading the same sensor backs off proportionally.
+  void set_trip_derate(double factor);
+  double trip_derate() const noexcept { return trip_derate_; }
+  /// Utility feed availability. While the feed is down the breaker can
+  /// deliver nothing regardless of its own state (PowerPath then routes
+  /// the whole load through the inline UPS).
+  void set_supply_available(bool available) noexcept {
+    supply_available_ = available;
+  }
+  bool supply_available() const noexcept { return supply_available_; }
+
  private:
+  /// Trip threshold after derating.
+  double effective_threshold() const noexcept;
+
   double rated_power_w_;
   TripCurve curve_;
   double theta_ = 0.0;
@@ -65,6 +83,8 @@ class CircuitBreaker {
   int trip_count_ = 0;
   bool overloaded_ = false;  ///< currently delivering above rated
   double elapsed_s_ = 0.0;
+  double trip_derate_ = 1.0;
+  bool supply_available_ = true;
   obs::ObsSink* obs_ = nullptr;
 };
 

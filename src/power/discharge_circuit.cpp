@@ -29,8 +29,16 @@ double DischargeCircuit::set_target_power(double power_w) {
   return setpoint_w();
 }
 
+void DischargeCircuit::set_fault_gain(double gain) {
+  SPRINTCON_EXPECTS(gain >= 0.0 && gain <= 1.0,
+                    "fault gain must be in [0, 1]");
+  fault_gain_ = gain;
+}
+
 double DischargeCircuit::transfer(EnergyStore& store, double dt_s) {
-  const double want_delivered = setpoint_w();
+  // A degraded circuit realizes only fault_gain of the commanded duty:
+  // the switches deliver less AND draw proportionally less from the store.
+  const double want_delivered = setpoint_w() * fault_gain_;
   if (want_delivered <= 0.0) return 0.0;
   const double want_from_battery = want_delivered / efficiency_;
   const double drawn = store.discharge(want_from_battery, dt_s);

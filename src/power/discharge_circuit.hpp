@@ -38,11 +38,18 @@ class DischargeCircuit {
   /// returns the power actually delivered to the load.
   double transfer(EnergyStore& store, double dt_s);
 
+  // --- fault-injection surface (src/fault) --------------------------------
+  /// Degrade the circuit: transfer() delivers only `gain` (in [0, 1]) of
+  /// the commanded power (0 = dead discharge path). 1 restores health.
+  void set_fault_gain(double gain);
+  double fault_gain() const noexcept { return fault_gain_; }
+
  private:
   double full_scale_w_;
   int duty_steps_;
   double efficiency_;
   double duty_ = 0.0;
+  double fault_gain_ = 1.0;
 };
 
 }  // namespace sprintcon::power

@@ -31,6 +31,10 @@ class EnergyStore {
   virtual double discharge(double power_w, double dt_s) = 0;
   /// Recharge; returns the power actually absorbed.
   virtual double recharge(double power_w, double dt_s) = 0;
+  /// Capacity fade (aging studies / fault injection): shrink the usable
+  /// capacity to `keep_fraction` (in (0, 1]) of its current value; stored
+  /// energy above the new capacity is lost. Fade never heals.
+  virtual void fade_capacity(double keep_fraction) = 0;
 
   // --- derived helpers -----------------------------------------------------
   /// State of charge in [0, 1].

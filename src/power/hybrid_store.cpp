@@ -75,6 +75,11 @@ double HybridStore::discharge(double power_w, double dt_s) {
   return delivered;
 }
 
+void HybridStore::fade_capacity(double keep_fraction) {
+  battery_.fade_capacity(keep_fraction);
+  supercap_.fade_capacity(keep_fraction);
+}
+
 double HybridStore::recharge(double power_w, double dt_s) {
   // External charging fills the supercap first (it recovers fast and
   // shields the battery), then the battery.

@@ -40,6 +40,8 @@ class HybridStore final : public EnergyStore {
   double total_discharged_wh() const noexcept override;
   double discharge(double power_w, double dt_s) override;
   double recharge(double power_w, double dt_s) override;
+  /// Fades both components proportionally (the bank ages as a unit).
+  void fade_capacity(double keep_fraction) override;
 
   // --- component access (wear metrics, tests) ---------------------------------
   const UpsBattery& battery() const noexcept { return battery_; }

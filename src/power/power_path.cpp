@@ -30,7 +30,11 @@ PowerFlows PowerPath::step(double demand_w, double ups_command_w, double dt_s,
   PowerFlows flows;
   flows.demand_w = demand_w;
 
-  if (breaker_.open()) {
+  // A lost utility feed routes exactly like an open breaker — the inline
+  // UPS carries the load — except the breaker cannot pick anything up
+  // until the feed returns.
+  const bool feed_down = !breaker_.supply_available();
+  if (breaker_.open() || feed_down) {
     // Inline UPS carries everything it can while the breaker recovers.
     // The duty grid rounds up, so cap delivery at the demand (the
     // controller modulates the duty within the interval).
@@ -38,9 +42,11 @@ PowerFlows PowerPath::step(double demand_w, double ups_command_w, double dt_s,
     flows.ups_w = std::min(circuit_.transfer(*store_, dt_s), demand_w);
     // Keep the breaker's cooling clock running (delivers nothing).
     flows.cb_w = breaker_.deliver(0.0, dt_s);
-    if (!breaker_.open() && flows.ups_w < demand_w) {
+    if (!breaker_.open() && !feed_down && flows.ups_w < demand_w) {
       // Re-closed within this tick: the breaker picks up the shortfall.
       flows.cb_w = breaker_.deliver(demand_w - flows.ups_w, dt_s);
+    } else {
+      flows.cb_w = 0.0;
     }
     flows.unserved_w = std::max(0.0, demand_w - flows.ups_w - flows.cb_w);
     last_ = flows;

@@ -30,6 +30,7 @@ class Supercapacitor final : public EnergyStore {
 
   double discharge(double power_w, double dt_s) override;
   double recharge(double power_w, double dt_s) override;
+  void fade_capacity(double keep_fraction) override;
 
   /// Advance the self-discharge leak only (no transfer). Discharge and
   /// recharge apply it implicitly.

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/validation.hpp"
+#include "fault/injector.hpp"
 #include "power/wear.hpp"
 #include "server/platform.hpp"
 #include "workload/batch_profile.hpp"
@@ -31,6 +32,7 @@ void RigConfig::validate() const {
   SPRINTCON_EXPECTS(batch_work_scale > 0.0, "work scale must be positive");
   SPRINTCON_EXPECTS(ups_capacity_wh > 0.0, "UPS capacity must be positive");
   sprint.validate();
+  faults.validate();
 }
 
 Rig::Rig(const RigConfig& config) : config_(config) {
@@ -116,10 +118,19 @@ Rig::Rig(const RigConfig& config) : config_(config) {
   // --- controller -------------------------------------------------------------
   sim_ = std::make_unique<sim::Simulation>(config.dt_s);
   sim_->add(*rack_);
+  // The injector steps after the rack (so it sees this tick's true power)
+  // and before the controller (so the pulled hooks are resolved); its
+  // actuator stage steps after the controller's frequency writes.
+  if (!config.faults.empty()) {
+    injector_ = std::make_unique<fault::FaultInjector>(
+        config.faults, config.fault_seed, *rack_, *path_);
+    sim_->add(*injector_);
+  }
   switch (config.policy) {
     case Policy::kSprintCon:
       sprintcon_ = std::make_unique<core::SprintConController>(config.sprint,
                                                                *rack_, *path_);
+      sprintcon_->set_fault(injector_.get());
       sim_->add(*sprintcon_);
       break;
     case Policy::kSgct:
@@ -143,12 +154,17 @@ Rig::Rig(const RigConfig& config) : config_(config) {
       sim_->add(*cap_);
       break;
   }
+  if (injector_) {
+    actuator_stage_ = std::make_unique<fault::FaultActuatorStage>(*injector_);
+    sim_->add(*actuator_stage_);
+  }
 
   // --- observability ----------------------------------------------------------
   if (config.observability) {
     obs_ = std::make_unique<obs::ObsSink>();
     path_->breaker().set_obs(obs_.get());
     if (sprintcon_) sprintcon_->set_obs(obs_.get());
+    if (injector_) injector_->set_obs(obs_.get());
   }
 
   // --- probes ------------------------------------------------------------------
@@ -176,6 +192,11 @@ Rig::Rig(const RigConfig& config) : config_(config) {
                 [this] { return path_->breaker().thermal_stress(); });
   rec.add_probe("breaker_open",
                 [this] { return path_->breaker().open() ? 1.0 : 0.0; });
+  if (injector_) {
+    rec.add_probe("fault_active", [this] {
+      return static_cast<double>(injector_->active_count());
+    });
+  }
   rec.add_probe("battery_component_soc", [this] {
     // For a hybrid store, the wear analysis wants the *battery's* SOC,
     // not the combined store's.

@@ -19,6 +19,7 @@
 #include "baselines/power_cap.hpp"
 #include "baselines/sgct.hpp"
 #include "core/sprintcon.hpp"
+#include "fault/fault.hpp"
 #include "metrics/summary.hpp"
 #include "obs/export.hpp"
 #include "obs/sink.hpp"
@@ -28,6 +29,11 @@
 #include "server/rack.hpp"
 #include "sim/simulation.hpp"
 #include "workload/interactive.hpp"
+
+namespace sprintcon::fault {
+class FaultInjector;
+class FaultActuatorStage;
+}
 
 namespace sprintcon::scenario {
 
@@ -83,6 +89,14 @@ struct RigConfig {
   /// sprint.thermal_guard); defaults keep sustained peak below throttle.
   server::ThermalSpec thermal;
   std::uint64_t seed = 42;
+  /// Scripted fault schedule (empty = no injector built). See
+  /// fault/fault.hpp for the plan format and DESIGN.md §9 for the
+  /// taxonomy. Faults perturb the rig; the safety invariants must hold
+  /// regardless (tests/fault_test.cpp).
+  fault::FaultPlan faults;
+  /// Seed for the injector's own RNG, independent of the workload seeds
+  /// so fault scenarios can be varied without changing the load.
+  std::uint64_t fault_seed = 1729;
   /// Attach an ObsSink to the rig: structured events from the safety
   /// monitor / allocator / UPS loop / breaker plus MPC solver metrics,
   /// exported through report(). Off by default — the sink costs one
@@ -116,6 +130,8 @@ class Rig {
   core::SprintConController* sprintcon() noexcept { return sprintcon_.get(); }
   baselines::SgctController* sgct() noexcept { return sgct_.get(); }
   baselines::PowerCapController* power_cap() noexcept { return cap_.get(); }
+  /// Fault injector (null unless config.faults is non-empty).
+  fault::FaultInjector* fault_injector() noexcept { return injector_.get(); }
 
   /// Metrics over everything recorded so far.
   metrics::RunSummary summary() const;
@@ -140,6 +156,8 @@ class Rig {
   std::unique_ptr<sim::Simulation> sim_;
   std::unique_ptr<server::Rack> rack_;
   std::unique_ptr<power::PowerPath> path_;
+  std::unique_ptr<fault::FaultInjector> injector_;
+  std::unique_ptr<fault::FaultActuatorStage> actuator_stage_;
   std::unique_ptr<core::SprintConController> sprintcon_;
   std::unique_ptr<baselines::SgctController> sgct_;
   std::unique_ptr<baselines::PowerCapController> cap_;

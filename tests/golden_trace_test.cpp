@@ -1,0 +1,168 @@
+// Golden-trace regression test: the canonical rig's recorded channels,
+// downsampled and compared against a checked-in JSONL snapshot
+// (tests/golden/canonical_trace.jsonl).
+//
+// The comparison is tolerance-aware — each channel gets
+//   atol = 1e-9 + 0.01 * max|golden|
+// so identically-zero channels (unserved_w, breaker_open) are compared
+// essentially exactly while large power channels tolerate benign
+// cross-platform floating-point drift but not behavioral change.
+//
+// To regenerate after an *intentional* behavior change:
+//   python3 scripts/update_golden.py        # or:
+//   SPRINTCON_GOLDEN_UPDATE=1 ./build/tests/golden_trace_test
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "scenario/rig.hpp"
+
+namespace sprintcon::scenario {
+namespace {
+
+constexpr const char* kGoldenPath =
+    SPRINTCON_GOLDEN_DIR "/canonical_trace.jsonl";
+constexpr std::size_t kStride = 10;
+
+const char* const kChannels[] = {
+    "total_power_w",  "cb_power_w",        "ups_power_w",
+    "cb_budget_w",    "unserved_w",        "freq_interactive",
+    "freq_batch",     "battery_soc",       "cb_thermal_stress",
+    "breaker_open",
+};
+
+// The canonical run every figure in the paper is built from: the default
+// RigConfig — 16 servers, 3.2 kW breaker, 400 Wh UPS, 15-minute sprint.
+std::map<std::string, std::vector<double>> canonical_channels() {
+  Rig rig(RigConfig{});
+  rig.run();
+  std::map<std::string, std::vector<double>> out;
+  for (const char* name : kChannels) {
+    const std::vector<double>& full = rig.recorder().series(name).values();
+    std::vector<double> sampled;
+    for (std::size_t i = 0; i < full.size(); i += kStride) {
+      sampled.push_back(full[i]);
+    }
+    out[name] = std::move(sampled);
+  }
+  return out;
+}
+
+std::string channel_to_json(const std::string& name,
+                            const std::vector<double>& values) {
+  std::string out = "{\"channel\":\"" + name +
+                    "\",\"stride\":" + std::to_string(kStride) +
+                    ",\"values\":[";
+  char buf[32];
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out += ',';
+    std::snprintf(buf, sizeof(buf), "%.17g", values[i]);
+    out += buf;
+  }
+  out += "]}";
+  return out;
+}
+
+// Minimal parser for the exact lines channel_to_json writes.
+bool parse_channel_line(const std::string& line, std::string& name,
+                        std::vector<double>& values) {
+  const std::string name_tag = "{\"channel\":\"";
+  if (line.rfind(name_tag, 0) != 0) return false;
+  const std::size_t name_end = line.find('"', name_tag.size());
+  if (name_end == std::string::npos) return false;
+  name = line.substr(name_tag.size(), name_end - name_tag.size());
+  const std::size_t open = line.find('[', name_end);
+  const std::size_t close = line.rfind(']');
+  if (open == std::string::npos || close == std::string::npos ||
+      close < open) {
+    return false;
+  }
+  values.clear();
+  std::istringstream body(line.substr(open + 1, close - open - 1));
+  std::string token;
+  while (std::getline(body, token, ',')) {
+    char* end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) return false;
+    values.push_back(v);
+  }
+  return true;
+}
+
+TEST(GoldenTrace, MatchesCanonicalRun) {
+  const auto channels = canonical_channels();
+
+  if (const char* update = std::getenv("SPRINTCON_GOLDEN_UPDATE");
+      update != nullptr && update[0] != '\0') {
+    std::ofstream out(kGoldenPath);
+    ASSERT_TRUE(out) << "cannot write " << kGoldenPath;
+    for (const char* name : kChannels) {
+      out << channel_to_json(name, channels.at(name)) << '\n';
+    }
+    GTEST_SKIP() << "golden trace regenerated at " << kGoldenPath;
+  }
+
+  std::ifstream in(kGoldenPath);
+  ASSERT_TRUE(in) << "missing golden file " << kGoldenPath
+                  << " — run scripts/update_golden.py";
+
+  std::map<std::string, std::vector<double>> golden;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::string name;
+    std::vector<double> values;
+    ASSERT_TRUE(parse_channel_line(line, name, values))
+        << "malformed golden line: " << line;
+    golden[name] = std::move(values);
+  }
+
+  for (const char* name : kChannels) {
+    ASSERT_TRUE(golden.count(name) != 0)
+        << "golden file lacks channel " << name
+        << " — run scripts/update_golden.py";
+    const std::vector<double>& want = golden.at(name);
+    const std::vector<double>& got = channels.at(name);
+    ASSERT_EQ(got.size(), want.size())
+        << "channel " << name << " changed length (duration or stride "
+        << "changed? run scripts/update_golden.py if intentional)";
+
+    double max_abs = 0.0;
+    for (const double v : want) max_abs = std::max(max_abs, std::abs(v));
+    const double atol = 1e-9 + 0.01 * max_abs;
+
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      ASSERT_NEAR(got[i], want[i], atol)
+          << "channel '" << name << "' diverged from the golden trace at "
+          << "sample " << i << " (t=" << i * kStride
+          << " s). If the behavior change is intentional, regenerate with "
+          << "scripts/update_golden.py.";
+    }
+  }
+}
+
+// The snapshot must itself be reproducible: a second canonical run is
+// bit-identical to the first (guards against hidden nondeterminism
+// invalidating the golden methodology).
+TEST(GoldenTrace, CanonicalRunIsDeterministic) {
+  const auto a = canonical_channels();
+  const auto b = canonical_channels();
+  for (const char* name : kChannels) {
+    const auto& va = a.at(name);
+    const auto& vb = b.at(name);
+    ASSERT_EQ(va.size(), vb.size()) << name;
+    for (std::size_t i = 0; i < va.size(); ++i) {
+      ASSERT_EQ(va[i], vb[i]) << name << " sample " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sprintcon::scenario
