@@ -6,6 +6,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
+#include <memory>
 
 #include "common/rng.hpp"
 #include "control/eigen.hpp"
@@ -162,6 +163,57 @@ void BM_FacilityRunSequential(benchmark::State& state) {
   state.SetLabel(std::to_string(racks) + " racks x 60 s");
 }
 BENCHMARK(BM_FacilityRunSequential)->Arg(1)->Arg(4)->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+// Fleet-scale sharded scaling: aggregate simulated-tick throughput over
+// many small rigs (2 servers / 16 cores each, 30 simulated seconds at
+// 1 s ticks, one allocator epoch every 10 s). Arg0 = rigs, Arg1 = worker
+// shards (0 = one per hardware thread). Construction happens outside the
+// timed region — items/s is pure simulation throughput, in aggregate
+// rig-ticks per second. Compare threads=1 vs threads=0 rows for the
+// parallel speedup; on a single-core host they coincide.
+void BM_FacilityScaling(benchmark::State& state) {
+  const auto rigs = static_cast<std::size_t>(state.range(0));
+  const auto threads = static_cast<std::size_t>(state.range(1));
+  scenario::FacilityConfig cfg;
+  cfg.num_racks = rigs;
+  cfg.run_threads = threads;
+  cfg.epoch_s = 10.0;
+  cfg.rack.num_servers = 2;
+  cfg.rack.sprint.cb_rated_w = 2.0 * 300.0 * (2.0 / 3.0);
+  cfg.rack.ups_capacity_wh = 50.0;
+  cfg.rack.duration_s = 30.0;
+  const auto ticks_per_rig = static_cast<std::int64_t>(
+      cfg.rack.duration_s / cfg.rack.dt_s);
+  std::size_t shards = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto facility = std::make_unique<scenario::Facility>(cfg);
+    shards = facility->num_shards();
+    state.ResumeTiming();
+    facility->run();
+    benchmark::DoNotOptimize(facility->rig(0).recorder());
+    state.PauseTiming();
+    facility.reset();  // destruction off the clock too
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(rigs) * ticks_per_rig);
+  state.counters["rigs"] =
+      benchmark::Counter(static_cast<double>(rigs));
+  state.counters["shards"] =
+      benchmark::Counter(static_cast<double>(shards));
+  state.SetLabel(std::to_string(rigs) + " rigs x 30 s, " +
+                 std::to_string(shards) + " shards");
+}
+BENCHMARK(BM_FacilityScaling)
+    ->Args({16, 1})
+    ->Args({16, 0})
+    ->Args({100, 1})
+    ->Args({100, 0})
+    ->Args({1000, 1})
+    ->Args({1000, 0})
+    ->Args({10000, 0})
     ->Unit(benchmark::kMillisecond);
 
 void BM_RigTick(benchmark::State& state) {

@@ -140,10 +140,10 @@ int main(int argc, char** argv) {
   }
 
   const obs::MetricsSnapshot fac = facility.obs()->metrics().snapshot();
-  std::cout << "pool: " << fac.counter("pool.tasks_completed") << "/"
-            << fac.counter("pool.tasks_submitted") << " tasks on "
-            << format_fixed(fac.gauge("pool.threads"), 0) << " workers, run "
-            << format_fixed(fac.gauge("facility.run_s"), 2) << " s\n";
+  std::cout << "shards: " << format_fixed(fac.gauge("facility.shards"), 0)
+            << " workers, " << fac.counter("facility.epochs")
+            << " epochs, run " << format_fixed(fac.gauge("facility.run_s"), 2)
+            << " s\n";
 
   const TimeSeries cb = facility.facility_cb_power();
   const TimeSeries total = facility.facility_total_power();

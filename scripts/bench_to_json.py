@@ -1,33 +1,82 @@
 #!/usr/bin/env python3
 """Run the controller microbenchmarks and record them as BENCH_controller.json.
 
-Runs build/bench/perf_controller with google-benchmark's JSON output, then
-condenses the result into a small stable document at the repo root so the
-perf trajectory of the controller hot paths can be tracked across PRs:
+By default this configures and builds the Release preset (build-release/),
+runs its perf_controller with google-benchmark's JSON output, and condenses
+the result into a small stable document at the repo root so the perf
+trajectory of the controller hot paths can be tracked across PRs:
 
     {
+      "context": { "build_type": "release", "num_cpus": ..., "git_commit": ... },
       "benchmarks": { "<name>": {"real_time_ns": ..., "items_per_second": ...} },
       "headline": {
         "mpc_step_256_structured_ns": ...,
-        "mpc_step_256_dense_ns": ...,
-        "mpc_step_256_speedup": ...
+        "rig_tick_ns": ...,
+        "facility_ticks_per_second_1000": ...
       }
     }
 
+The recorded build_type is OUR CMAKE_BUILD_TYPE read from the build tree's
+CMakeCache.txt — google-benchmark's own `library_build_type` context field
+describes the benchmark *library*, not this code, and is ignored. Numbers
+from a Debug build are refused (override with --allow-debug, which still
+stamps the truth into the JSON).
+
 Usage:
-    scripts/bench_to_json.py [--bench-binary build/bench/perf_controller]
-                             [--output BENCH_controller.json]
+    scripts/bench_to_json.py [--build-dir build-release] [--no-build]
+                             [--bench-binary PATH] [--output FILE]
                              [--filter REGEX] [--min-time SECONDS]
+                             [--allow-debug]
 """
 
 import argparse
 import json
 import pathlib
+import re
 import subprocess
 import sys
 import tempfile
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def build_release_preset(build_dir: pathlib.Path) -> None:
+    """Configure + build the benchmark target for the given build tree.
+
+    Uses the `release` CMake preset when targeting its binaryDir, else a
+    plain configure so --build-dir can point at any existing tree.
+    """
+    if build_dir == REPO_ROOT / "build-release":
+        subprocess.run(["cmake", "--preset", "release"], cwd=REPO_ROOT,
+                       check=True)
+    elif not (build_dir / "CMakeCache.txt").exists():
+        raise SystemExit(f"{build_dir} is not a configured build tree; "
+                         "configure it first or drop --build-dir")
+    subprocess.run(["cmake", "--build", str(build_dir), "-j",
+                    "--target", "perf_controller"], cwd=REPO_ROOT, check=True)
+
+
+def read_build_type(build_dir: pathlib.Path) -> str:
+    """Our CMAKE_BUILD_TYPE from the build tree, lowercased ('' if unset)."""
+    cache = build_dir / "CMakeCache.txt"
+    if not cache.exists():
+        return ""
+    match = re.search(r"^CMAKE_BUILD_TYPE:\w+=(.*)$", cache.read_text(),
+                      re.MULTILINE)
+    return match.group(1).strip().lower() if match else ""
+
+
+def git_commit() -> str:
+    try:
+        commit = subprocess.run(["git", "rev-parse", "--short", "HEAD"],
+                                cwd=REPO_ROOT, capture_output=True, text=True,
+                                check=True).stdout.strip()
+        dirty = subprocess.run(["git", "status", "--porcelain"],
+                               cwd=REPO_ROOT, capture_output=True, text=True,
+                               check=True).stdout.strip()
+        return f"{commit}-dirty" if dirty else commit
+    except (OSError, subprocess.CalledProcessError):
+        return ""
 
 
 def run_benchmarks(binary: pathlib.Path, bench_filter: str,
@@ -67,7 +116,7 @@ _STANDARD_KEYS = frozenset({
 })
 
 
-def condense(raw: dict) -> dict:
+def condense(raw: dict, build_type: str) -> dict:
     benchmarks = {}
     for entry in raw.get("benchmarks", []):
         if entry.get("run_type") != "iteration":
@@ -117,12 +166,31 @@ def condense(raw: dict) -> dict:
             if value is not None:
                 headline[key] = round(value, 2)
 
+    rig_tick = benchmarks.get("BM_RigTick")
+    if rig_tick:
+        headline["rig_tick_ns"] = round(rig_tick["real_time_ns"], 1)
+
+    # Fleet scaling: aggregate simulated-tick throughput (items/s) at each
+    # fleet size, and the parallel-vs-sequential speedup where both rows ran.
+    for rigs in (100, 1000, 10000):
+        par = benchmarks.get(f"BM_FacilityScaling/{rigs}/0")
+        seq = benchmarks.get(f"BM_FacilityScaling/{rigs}/1")
+        best = par or seq
+        if best and "items_per_second" in best:
+            headline[f"facility_ticks_per_second_{rigs}"] = round(
+                best["items_per_second"])
+        if (par and seq and "items_per_second" in par
+                and seq.get("items_per_second")):
+            headline[f"facility_scaling_speedup_{rigs}"] = round(
+                par["items_per_second"] / seq["items_per_second"], 2)
+
     return {
         "context": {
             "date": raw.get("context", {}).get("date"),
             "host_name": raw.get("context", {}).get("host_name"),
             "num_cpus": raw.get("context", {}).get("num_cpus"),
-            "build_type": raw.get("context", {}).get("library_build_type"),
+            "build_type": build_type,
+            "git_commit": git_commit(),
         },
         "benchmarks": benchmarks,
         "headline": headline,
@@ -131,25 +199,52 @@ def condense(raw: dict) -> dict:
 
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--bench-binary",
-                        default=str(REPO_ROOT / "build/bench/perf_controller"))
+    parser.add_argument("--build-dir",
+                        default=str(REPO_ROOT / "build-release"),
+                        help="build tree to build and take the binary from")
+    parser.add_argument("--no-build", action="store_true",
+                        help="skip the configure/build step")
+    parser.add_argument("--bench-binary", default="",
+                        help="benchmark binary (default: "
+                             "<build-dir>/bench/perf_controller)")
     parser.add_argument("--output",
                         default=str(REPO_ROOT / "BENCH_controller.json"))
     parser.add_argument("--filter", default="",
                         help="google-benchmark --benchmark_filter regex")
     parser.add_argument("--min-time", type=float, default=0.1,
                         help="per-benchmark minimum measurement time")
+    parser.add_argument("--allow-debug", action="store_true",
+                        help="record numbers from a non-Release build anyway")
     args = parser.parse_args()
 
-    binary = pathlib.Path(args.bench_binary)
+    build_dir = pathlib.Path(args.build_dir)
+    if not args.no_build:
+        build_release_preset(build_dir)
+
+    binary = (pathlib.Path(args.bench_binary) if args.bench_binary
+              else build_dir / "bench/perf_controller")
     if not binary.exists():
         print(f"benchmark binary not found: {binary}\n"
-              "build it first: cmake --build build --target perf_controller",
+              "build it first: cmake --preset release && "
+              "cmake --build build-release --target perf_controller",
               file=sys.stderr)
         return 1
 
+    build_type = read_build_type(build_dir)
+    if build_type != "release":
+        message = (f"build tree {build_dir} has CMAKE_BUILD_TYPE="
+                   f"{build_type or '(unset)'} — benchmark numbers from a "
+                   "non-Release build are not comparable")
+        if not args.allow_debug:
+            print(f"error: {message}\nuse the release preset "
+                  "(scripts/bench_to_json.py with no flags) or pass "
+                  "--allow-debug to record them anyway", file=sys.stderr)
+            return 1
+        print(f"WARNING: {message}; recording with "
+              f"build_type={build_type or '(unset)'}", file=sys.stderr)
+
     raw = run_benchmarks(binary, args.filter, args.min_time)
-    condensed = condense(raw)
+    condensed = condense(raw, build_type)
     output = pathlib.Path(args.output)
     output.write_text(json.dumps(condensed, indent=2, sort_keys=True) + "\n")
     print(f"wrote {output}")

@@ -12,5 +12,6 @@ cmake -B build-tsan -S . \
   -DSPRINTCON_TSAN=ON \
   -DSPRINTCON_BUILD_BENCH=OFF \
   -DSPRINTCON_BUILD_EXAMPLES=OFF
-cmake --build build-tsan -j "$(nproc)" --target thread_pool_test facility_test
+cmake --build build-tsan -j "$(nproc)" --target thread_pool_test facility_test \
+  facility_shard_test obs_test
 ctest --test-dir build-tsan -L threads --output-on-failure "$@"

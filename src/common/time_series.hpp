@@ -27,6 +27,9 @@ class TimeSeries {
   double start_s() const noexcept { return start_s_; }
 
   void push(double value) { values_.push_back(value); }
+  /// Pre-size the backing storage (e.g. for a known run horizon) so the
+  /// per-tick push never reallocates.
+  void reserve(std::size_t n) { values_.reserve(n); }
   std::size_t size() const noexcept { return values_.size(); }
   bool empty() const noexcept { return values_.empty(); }
 

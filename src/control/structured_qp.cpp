@@ -89,6 +89,110 @@ double structured_lambda_max_bound(const StructuredBlockQp& qp) {
   return r_max + c_max * k_sq;
 }
 
+namespace {
+
+/// Exact minimizer of one block: 0.5 x^T (diag(r) + c k k^T) x + g^T x over
+/// the box. For a fixed scalar s = k^T x the problem separates —
+/// x_i(s) = clamp(-(g_i + c k_i s) / r_i) — and phi(s) = k^T x(s) - s is
+/// continuous, piecewise linear and strictly decreasing (slope <= -1), so
+/// its unique root is the KKT point. Safeguarded Newton on phi lands on it
+/// in a handful of O(n) passes, versus hundreds of projected-gradient
+/// iterations when c ||k||^2 >> max r (the rig's regime: power gains of
+/// tens of W/GHz against unit-scale comfort penalties). Requires every
+/// r_i > 0. Returns the scalar iteration count.
+int solve_block_direct(const StructuredBlockQp& qp, std::size_t b,
+                       double tolerance, const Vector& x0, Vector& x) {
+  const std::size_t n = qp.block_size();
+  const std::size_t off = b * n;
+  const double c = qp.rank_weight[b];
+
+  double k_max = 0.0;
+  for (std::size_t i = 0; i < n; ++i)
+    k_max = std::max(k_max, std::abs(qp.gains[i]));
+  if (c * k_max == 0.0) {
+    // Diagonal block: coordinates are independent.
+    for (std::size_t i = 0; i < n; ++i) {
+      x[off + i] = std::clamp(-qp.gradient[off + i] / qp.penalty[i],
+                              qp.lower[off + i], qp.upper[off + i]);
+    }
+    return 1;
+  }
+
+  // s* = k^T x* is bracketed by the box images of k.
+  double lo = 0.0, hi = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double a = qp.gains[i] * qp.lower[off + i];
+    const double b2 = qp.gains[i] * qp.upper[off + i];
+    lo += std::min(a, b2);
+    hi += std::max(a, b2);
+  }
+  // phi error |phi| maps to a projected-gradient residual of at most
+  // c k_max |phi|; aim well under the caller's tolerance.
+  const double tol_s = 0.25 * tolerance / std::max(1.0, c * k_max);
+
+  double s = 0.0;
+  for (std::size_t i = 0; i < n; ++i) s += qp.gains[i] * x0[off + i];
+  s = std::clamp(s, lo, hi);
+
+  int iterations = 0;
+  double s_prev = s;
+  for (; iterations < 200; ++iterations) {
+    double kx = 0.0;
+    double interior_slope = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double xi_free = -(qp.gradient[off + i] + c * qp.gains[i] * s) /
+                             qp.penalty[i];
+      if (xi_free <= qp.lower[off + i]) {
+        kx += qp.gains[i] * qp.lower[off + i];
+      } else if (xi_free >= qp.upper[off + i]) {
+        kx += qp.gains[i] * qp.upper[off + i];
+      } else {
+        kx += qp.gains[i] * xi_free;
+        interior_slope += c * qp.gains[i] * qp.gains[i] / qp.penalty[i];
+      }
+    }
+    const double phi = kx - s;
+    if (std::abs(phi) <= tol_s) break;
+    if (phi > 0.0) {
+      lo = s;
+    } else {
+      hi = s;
+    }
+    // On an all-clamped segment (no interior coordinate) kx is constant,
+    // so the local root is exactly kx; computing it as s + phi would round
+    // twice and can land an ulp outside the bracket.
+    const double s_newton =
+        interior_slope == 0.0 ? kx : s + phi / (1.0 + interior_slope);
+    // FP floor: when the local slope is steep (c ||k||^2 >> 1) the Newton
+    // increment can underflow below one ulp of s while |phi| is still above
+    // tol_s — s is then the best representable point and further bisection
+    // of the bracket would only grind ~50 O(n) passes to the same place.
+    if (s_newton == s) break;
+    // Inclusive bracket test: the root frequently sits exactly on an
+    // endpoint (e.g. every coordinate clamped low makes s* = k^T lower,
+    // the initial lo), and a strict test would reject the exact answer
+    // and bisect the whole bracket down to it.
+    double s_next =
+        (s_newton >= lo && s_newton <= hi) ? s_newton : 0.5 * (lo + hi);
+    // 2-cycle guard: with exact endpoint landings the Newton iterate can
+    // alternate between the same two points (each updating one bracket
+    // side) without ever shrinking the bracket — force a bisection step.
+    if (s_next == s_prev) s_next = 0.5 * (lo + hi);
+    if (s_next == s) break;
+    s_prev = s;
+    s = s_next;
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    x[off + i] = std::clamp(-(qp.gradient[off + i] + c * qp.gains[i] * s) /
+                                qp.penalty[i],
+                            qp.lower[off + i], qp.upper[off + i]);
+  }
+  return iterations + 1;
+}
+
+}  // namespace
+
 void solve_structured_qp(const StructuredBlockQp& qp, const Vector& x0,
                          const QpOptions& options, StructuredQpScratch& scratch,
                          QpResult& result) {
@@ -98,6 +202,37 @@ void solve_structured_qp(const StructuredBlockQp& qp, const Vector& x0,
   SPRINTCON_EXPECTS(options.max_iterations > 0, "QP needs >= 1 iteration");
   SPRINTCON_EXPECTS(options.residual_check_interval > 0,
                     "QP residual check interval must be >= 1");
+
+  // Fast path: with strictly positive penalties each block is solved
+  // exactly through its scalar KKT equation. The iterative fallback below
+  // only runs if a penalty is zero (rank-deficient block) or the direct
+  // residual somehow misses the tolerance — then it polishes the direct
+  // answer rather than starting from x0.
+  bool direct_ok = true;
+  for (const double r : qp.penalty) {
+    if (!(r > 0.0)) {
+      direct_ok = false;
+      break;
+    }
+  }
+  if (direct_ok) {
+    Vector& xd = scratch.x;
+    xd.resize(dim);
+    int direct_iterations = 0;
+    for (std::size_t b = 0; b < qp.num_blocks(); ++b) {
+      direct_iterations +=
+          solve_block_direct(qp, b, options.tolerance, x0, xd);
+    }
+    const double res = structured_residual(qp, xd);
+    if (res < options.tolerance) {
+      result.iterations = direct_iterations;
+      result.restarts = 0;
+      result.converged = true;
+      result.residual = res;
+      result.x = xd;
+      return;
+    }
+  }
 
   // The analytic bound is a true upper bound on lambda_max (triangle
   // inequality per block), so no safety padding is needed beyond a floor
@@ -111,8 +246,10 @@ void solve_structured_qp(const StructuredBlockQp& qp, const Vector& x0,
   Vector& g = scratch.grad;
   x.resize(dim);
   x_next.resize(dim);
+  // Polish from the direct answer when it was attempted (scratch.x holds
+  // it), else from the caller's warm start.
   for (std::size_t i = 0; i < dim; ++i)
-    x[i] = std::clamp(x0[i], qp.lower[i], qp.upper[i]);
+    x[i] = std::clamp(direct_ok ? x[i] : x0[i], qp.lower[i], qp.upper[i]);
   y = x;
   double t_momentum = 1.0;
 
@@ -149,8 +286,10 @@ void solve_structured_qp(const StructuredBlockQp& qp, const Vector& x0,
 
     // Convergence check on the true iterate (not the extrapolated point).
     // The residual costs another O(n Lc) pass, so amortize it over
-    // `residual_check_interval` iterations — deterministic either way.
-    if ((it + 1) % options.residual_check_interval == 0) {
+    // `residual_check_interval` iterations — except when polishing the
+    // direct answer, which starts within a few iterations of tolerance:
+    // there a per-iteration check exits sooner than it costs.
+    if (direct_ok || (it + 1) % options.residual_check_interval == 0) {
       const double res = structured_residual(qp, x);
       if (res < options.tolerance) {
         result.converged = true;

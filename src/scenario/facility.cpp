@@ -1,25 +1,60 @@
 #include "scenario/facility.hpp"
 
 #include <algorithm>
+#include <barrier>
 #include <chrono>
+#include <cmath>
+#include <exception>
+#include <mutex>
 #include <thread>
 
-#include "common/thread_pool.hpp"
 #include "common/validation.hpp"
 
 namespace sprintcon::scenario {
 
+namespace {
+
+/// First stored exception wins; later ones are dropped (workers race).
+class FirstException {
+ public:
+  void capture() noexcept {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (!eptr_) eptr_ = std::current_exception();
+  }
+  void rethrow_if_any() {
+    if (eptr_) std::rethrow_exception(eptr_);
+  }
+
+ private:
+  std::mutex mu_;
+  std::exception_ptr eptr_;
+};
+
+}  // namespace
+
 void FacilityConfig::validate() const {
   SPRINTCON_EXPECTS(num_racks > 0, "facility needs at least one rack");
+  SPRINTCON_EXPECTS(epoch_s > 0.0, "epoch length must be positive");
   rack.validate();
+}
+
+std::pair<std::size_t, std::size_t> Facility::shard_range(
+    std::size_t w) const {
+  const std::size_t n = rigs_.size();
+  return {w * n / num_workers_, (w + 1) * n / num_workers_};
 }
 
 Facility::Facility(const FacilityConfig& config) : config_(config) {
   config.validate();
+  num_workers_ = config.run_threads != 0
+                     ? config.run_threads
+                     : std::max<std::size_t>(
+                           1, std::thread::hardware_concurrency());
+  num_workers_ = std::min(num_workers_, config.num_racks);
+
   const double cycle = config.rack.sprint.cb_overload_duration_s +
                        config.rack.sprint.cb_recovery_duration_s;
-  rigs_.reserve(config.num_racks);
-  for (std::size_t r = 0; r < config.num_racks; ++r) {
+  const auto rack_config = [&](std::size_t r) {
     RigConfig rack_cfg = config.rack;
     rack_cfg.seed = config.rack.seed + r;  // distinct workloads per rack
     rack_cfg.observability = config.observability;
@@ -28,8 +63,38 @@ Facility::Facility(const FacilityConfig& config) : config_(config) {
           cycle * static_cast<double>(r) /
           static_cast<double>(config.num_racks);
     }
-    rigs_.push_back(std::make_unique<Rig>(rack_cfg));
+    return rack_cfg;
+  };
+
+  // Each worker constructs its own shard's rigs — construction is the
+  // dominant cost at fleet scale (thousands of rigs) and rigs are
+  // self-contained, so it shards as cleanly as execution does. The
+  // vector is pre-sized; workers write disjoint slots.
+  rigs_.resize(config.num_racks);
+  if (num_workers_ <= 1) {
+    for (std::size_t r = 0; r < rigs_.size(); ++r) {
+      rigs_[r] = std::make_unique<Rig>(rack_config(r));
+    }
+  } else {
+    FirstException error;
+    std::vector<std::thread> workers;
+    workers.reserve(num_workers_);
+    for (std::size_t w = 0; w < num_workers_; ++w) {
+      workers.emplace_back([&, w] {
+        const auto [first, last] = shard_range(w);
+        try {
+          for (std::size_t r = first; r < last; ++r) {
+            rigs_[r] = std::make_unique<Rig>(rack_config(r));
+          }
+        } catch (...) {
+          error.capture();
+        }
+      });
+    }
+    for (std::thread& t : workers) t.join();
+    error.rethrow_if_any();
   }
+
   if (config.observability) {
     obs_ = std::make_unique<obs::ObsSink>();
     rack_run_us_ = &obs_->metrics().histogram("facility.rack_run_us");
@@ -38,40 +103,88 @@ Facility::Facility(const FacilityConfig& config) : config_(config) {
 
 void Facility::run() {
   if (ran_) return;
-  // Rigs are fully independent (per-rig RNG, recorder, controllers), so
-  // running them concurrently is bit-identical to the sequential order.
-  std::size_t threads = config_.run_threads != 0
-                            ? config_.run_threads
-                            : std::max<std::size_t>(
-                                  1, std::thread::hardware_concurrency());
-  threads = std::min(threads, rigs_.size());
+  const double duration = config_.rack.duration_s;
+  const std::size_t num_epochs = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::ceil(duration / config_.epoch_s)));
   const auto start = std::chrono::steady_clock::now();
-  // The per-rack timer writes to a shared histogram from every worker —
-  // exactly the concurrent-emission path the metrics atomics exist for.
-  const auto run_rig = [this](std::size_t i) {
-    const obs::ScopedTimer timer(rack_run_us_);
-    rigs_[i]->run();
-  };
-  if (threads <= 1) {
-    for (std::size_t i = 0; i < rigs_.size(); ++i) run_rig(i);
-  } else {
-    ThreadPool pool(threads);
-    pool.parallel_for(rigs_.size(), run_rig);
-    if (obs_ != nullptr) {
-      const ThreadPool::Stats s = pool.stats();
-      auto& m = obs_->metrics();
-      m.counter("pool.tasks_submitted").add(s.tasks_submitted);
-      m.counter("pool.tasks_completed").add(s.tasks_completed);
-      m.gauge("pool.max_queue_depth")
-          .set(static_cast<double>(s.max_queue_depth));
-      m.gauge("pool.total_task_s").set(s.total_task_s);
-      m.gauge("pool.max_task_s").set(s.max_task_s);
-      m.gauge("pool.threads").set(static_cast<double>(threads));
+
+  // Advance one worker's shard to the end of epoch `e`. The final epoch
+  // goes through Rig::run() so the rig latches its ran_ flag. Per-rig
+  // wall time accumulates worker-locally; the shared histogram is only
+  // touched once per rig at the end (it is atomic-safe regardless).
+  std::vector<double> rig_run_s(rigs_.size(), 0.0);
+  const auto advance_shard = [&](std::size_t w, std::size_t e) {
+    const auto [first, last] = shard_range(w);
+    const double t_epoch = std::min(
+        config_.epoch_s * static_cast<double>(e + 1), duration);
+    const bool final_epoch = e + 1 == num_epochs;
+    for (std::size_t r = first; r < last; ++r) {
+      const auto t0 = std::chrono::steady_clock::now();
+      if (final_epoch) {
+        rigs_[r]->run();
+      } else {
+        rigs_[r]->run_until(t_epoch);
+      }
+      rig_run_s[r] +=
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
     }
+  };
+
+  FirstException error;
+  // Epoch boundary: every shard has reached the same simulated time and
+  // every worker is parked, so the callback may inspect any rig.
+  std::size_t epoch_index = 0;
+  const auto on_epoch = [&]() noexcept {
+    if (config_.epoch_callback) {
+      const double t_s = std::min(
+          config_.epoch_s * static_cast<double>(epoch_index + 1), duration);
+      try {
+        config_.epoch_callback(epoch_index, t_s);
+      } catch (...) {
+        error.capture();
+      }
+    }
+    ++epoch_index;
+  };
+
+  if (num_workers_ <= 1) {
+    for (std::size_t e = 0; e < num_epochs; ++e) {
+      advance_shard(0, e);
+      on_epoch();
+    }
+  } else {
+    std::barrier barrier(static_cast<std::ptrdiff_t>(num_workers_), on_epoch);
+    std::vector<std::thread> workers;
+    workers.reserve(num_workers_);
+    for (std::size_t w = 0; w < num_workers_; ++w) {
+      workers.emplace_back([&, w] {
+        bool failed = false;
+        for (std::size_t e = 0; e < num_epochs; ++e) {
+          if (!failed) {
+            try {
+              advance_shard(w, e);
+            } catch (...) {
+              error.capture();
+              failed = true;  // keep arriving so peers don't deadlock
+            }
+          }
+          barrier.arrive_and_wait();
+        }
+      });
+    }
+    for (std::thread& t : workers) t.join();
+  }
+  error.rethrow_if_any();
+
+  if (rack_run_us_ != nullptr) {
+    for (const double s : rig_run_s) rack_run_us_->record(s * 1e6);
   }
   if (obs_ != nullptr) {
     auto& m = obs_->metrics();
     m.counter("facility.racks").add(rigs_.size());
+    m.counter("facility.epochs").add(num_epochs);
+    m.gauge("facility.shards").set(static_cast<double>(num_workers_));
     m.gauge("facility.run_s")
         .set(std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                            start)

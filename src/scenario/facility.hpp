@@ -6,9 +6,18 @@
 // each rack keeps its own safety envelope, but the *aggregate* draw stays
 // nearly flat instead of inheriting K synchronized square waves. This is
 // the library form of the `ablation_stagger` experiment.
+//
+// Execution model (sharded, see DESIGN.md): each worker thread owns a
+// fixed contiguous shard of rigs for the whole run. Workers construct
+// their own shard's rigs, then advance them independently in simulated
+// time, meeting at a barrier every `epoch_s` simulated seconds — the
+// cadence at which a facility-level allocator would redistribute power
+// budgets. Rigs share nothing (per-rig RNG, recorder, controllers), so
+// the schedule is bit-identical to sequential execution.
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -22,16 +31,27 @@ struct FacilityConfig {
   std::size_t num_racks = 4;
   /// Stagger the racks' overload windows by cycle/num_racks each.
   bool staggered = true;
-  /// Worker threads for run(). Racks share nothing (each rig owns its RNG,
-  /// recorder and controllers), so they execute concurrently with results
-  /// bit-identical to sequential execution. 0 = one worker per hardware
-  /// thread (capped at num_racks); 1 = run sequentially on the caller.
+  /// Worker threads (= shards). Each worker owns a fixed contiguous shard
+  /// of rigs for the whole run — it constructs them and advances them —
+  /// so there is no per-tick or per-task handoff. 0 = one worker per
+  /// hardware thread (capped at num_racks); 1 = everything on the caller.
   std::size_t run_threads = 0;
+  /// Simulated seconds between facility-wide synchronization points.
+  /// Workers advance their shards independently and meet at a barrier
+  /// every epoch (the cadence of a facility-level power reallocation).
+  /// Larger epochs = less synchronization; results are bit-identical at
+  /// any epoch length because rigs share no state.
+  double epoch_s = 30.0;
+  /// Optional hook run at every epoch boundary (including the final one)
+  /// with every worker parked at the barrier: all rigs are quiescent and
+  /// safe to inspect. Called as (epoch_index, simulated_time_s) on one of
+  /// the worker threads.
+  std::function<void(std::size_t, double)> epoch_callback;
   /// Per-rack configuration template; each rack gets seed + rack index.
   RigConfig rack;
   /// Observability: gives every rig its own ObsSink (events + metrics)
-  /// plus a facility-level sink aggregating rack run times and thread
-  /// pool statistics; exported through reports().
+  /// plus a facility-level sink aggregating rack run times and shard
+  /// statistics; exported through reports().
   bool observability = false;
 
   void validate() const;
@@ -42,11 +62,13 @@ class Facility {
  public:
   explicit Facility(const FacilityConfig& config);
 
-  /// Run every rack's sprint (idempotent), in parallel across
-  /// config.run_threads workers.
+  /// Run every rack's sprint (idempotent), sharded across
+  /// config.run_threads long-lived workers.
   void run();
 
   std::size_t num_racks() const noexcept { return rigs_.size(); }
+  /// Number of worker shards run() will use (resolved at construction).
+  std::size_t num_shards() const noexcept { return num_workers_; }
   Rig& rig(std::size_t i);
   const Rig& rig(std::size_t i) const;
 
@@ -64,14 +86,17 @@ class Facility {
   /// Per-rack structured reports (requires config.observability).
   std::vector<obs::RunReport> reports() const;
 
-  /// Facility-level sink (rack run-time histogram, thread pool stats);
+  /// Facility-level sink (rack run-time histogram, shard/epoch stats);
   /// null unless config.observability is set.
   const obs::ObsSink* obs() const noexcept { return obs_.get(); }
 
  private:
   TimeSeries sum_channel(const char* channel, const char* name) const;
+  /// Rig index range [first, last) owned by worker `w`.
+  std::pair<std::size_t, std::size_t> shard_range(std::size_t w) const;
 
   FacilityConfig config_;
+  std::size_t num_workers_ = 1;
   std::vector<std::unique_ptr<Rig>> rigs_;
   std::unique_ptr<obs::ObsSink> obs_;
   obs::Histogram* rack_run_us_ = nullptr;

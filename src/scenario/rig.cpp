@@ -90,9 +90,10 @@ Rig::Rig(const RigConfig& config) : config_(config) {
     servers.emplace_back(spec, std::move(cores), master.split());
   }
   rack_ = std::make_unique<server::Rack>(std::move(servers));
-  for (server::Server& s : rack_->servers()) {
-    for (server::CpuCore& c : s.cores()) c.attach_thermal(config.thermal);
-  }
+  // Server-owned SoA thermal state (one elementwise kernel per tick)
+  // rather than a CoreThermalModel per core; the servers sit at their
+  // final addresses now, so the cores' slot bindings stay valid.
+  for (server::Server& s : rack_->servers()) s.attach_thermal(config.thermal);
 
   // --- power infrastructure --------------------------------------------------
   const double max_rack_w =
@@ -169,6 +170,13 @@ Rig::Rig(const RigConfig& config) : config_(config) {
 
   // --- probes ------------------------------------------------------------------
   auto& rec = sim_->recorder();
+  // Pre-size every channel for the run horizon so per-tick sampling never
+  // reallocates (capped so a "never-ending" tick-driven rig, e.g. the
+  // BM_RigTick harness with duration 1e9, does not reserve gigabytes).
+  rec.reserve_horizon(
+      std::min<std::size_t>(
+          static_cast<std::size_t>(config.duration_s / config.dt_s) + 2,
+          std::size_t{1} << 20));
   rec.add_probe("total_power_w", [this] { return rack_->total_power_w(); });
   rec.add_probe("cb_power_w", [this] { return path_->last().cb_w; });
   rec.add_probe("ups_power_w", [this] { return path_->last().ups_w; });
@@ -181,11 +189,19 @@ Rig::Rig(const RigConfig& config) : config_(config) {
   rec.add_probe("p_batch_target_w", [this] {
     return sprintcon_ ? sprintcon_->p_batch_w() : 0.0;
   });
-  rec.add_probe("freq_interactive", [this] {
-    return rack_->mean_freq(server::CoreRole::kInteractive);
-  });
-  rec.add_probe("freq_batch",
-                [this] { return rack_->mean_freq(server::CoreRole::kBatch); });
+  // The four per-core channels ride one fused O(num_cores) scan with
+  // batched appends instead of four independent passes (see
+  // Rack::telemetry for the bit-identity argument).
+  rec.add_probe_group(
+      {"freq_interactive", "freq_batch", "core_temp_max_c",
+       "interactive_p95_latency_ms"},
+      [this](double* out) {
+        const server::RackTelemetry t = rack_->telemetry();
+        out[0] = t.freq_interactive;
+        out[1] = t.freq_batch;
+        out[2] = t.core_temp_max_c;
+        out[3] = t.p95_latency_ms;
+      });
   rec.add_probe("battery_soc",
                 [this] { return path_->battery().state_of_charge(); });
   rec.add_probe("cb_thermal_stress",
@@ -197,24 +213,16 @@ Rig::Rig(const RigConfig& config) : config_(config) {
       return static_cast<double>(injector_->active_count());
     });
   }
-  rec.add_probe("battery_component_soc", [this] {
-    // For a hybrid store, the wear analysis wants the *battery's* SOC,
-    // not the combined store's.
-    if (const auto* hybrid =
-            dynamic_cast<const power::HybridStore*>(&path_->battery())) {
-      return hybrid->battery().state_of_charge();
-    }
-    return path_->battery().state_of_charge();
-  });
-  rec.add_probe("core_temp_max_c", [this] {
-    double t = 0.0;
-    for (const server::Server& s : rack_->servers()) {
-      for (const server::CpuCore& c : s.cores()) {
-        t = std::max(t, c.temperature_c());
-      }
-    }
-    return t;
-  });
+  // For a hybrid store, the wear analysis wants the *battery's* SOC, not
+  // the combined store's. The store type is fixed at construction, so
+  // resolve the downcast once instead of per tick.
+  rec.add_probe(
+      "battery_component_soc",
+      [store = dynamic_cast<const power::HybridStore*>(&path_->battery()),
+       this] {
+        return store != nullptr ? store->battery().state_of_charge()
+                                : path_->battery().state_of_charge();
+      });
   if (!queues_.empty()) {
     rec.add_probe("queue_backlog_mean", [this] {
       double b = 0.0;
@@ -227,29 +235,6 @@ Rig::Rig(const RigConfig& config) : config_(config) {
       return t / static_cast<double>(queues_.size()) * 1000.0;
     });
   }
-  rec.add_probe("interactive_p95_latency_ms", [this] {
-    // Rack-mean p95 request latency over the interactive cores (M/M/1,
-    // Section "queueing" extension). A dark or saturated core counts as
-    // the 1-second clamp — requests are effectively not being served.
-    const workload::LatencyModel latency;
-    constexpr double kClampS = 1.0;
-    double sum = 0.0;
-    std::size_t n = 0;
-    for (const server::Server& s : rack_->servers()) {
-      for (const server::CpuCore& c : s.cores()) {
-        if (c.is_batch()) continue;
-        double t = kClampS;
-        if (s.powered()) {
-          t = std::min(
-              latency.percentile_response_s(c.freq(), c.utilization(), 0.95),
-              kClampS);
-        }
-        sum += t;
-        ++n;
-      }
-    }
-    return n ? sum / static_cast<double>(n) * 1000.0 : 0.0;
-  });
 }
 
 Rig::~Rig() = default;

@@ -54,6 +54,7 @@ void CpuCore::update_thermal(double power_w, double dt_s) {
 }
 
 double CpuCore::temperature_c() const noexcept {
+  if (temp_slot_ != nullptr) return *temp_slot_;
   return thermal_ ? thermal_->temperature_c() : ThermalSpec{}.ambient_c;
 }
 

@@ -63,16 +63,31 @@ class CpuCore {
   void step(double dt_s, double now_s);
 
   // --- thermal state (optional) ------------------------------------------
-  /// Attach a thermal model; the owning Server then feeds it the core's
-  /// dynamic power each tick.
+  /// Attach a per-core thermal model; the owning Server then feeds it the
+  /// core's dynamic power each tick. (Standalone cores and tests use this;
+  /// racks built by the scenario layer use Server::attach_thermal, which
+  /// keeps all temperatures in one server-owned SoA array instead.)
   void attach_thermal(const ThermalSpec& spec);
-  bool has_thermal() const noexcept { return thermal_.has_value(); }
-  /// Advance the thermal state (called by Server with the measured power).
+  /// Bind this core's thermal reads to a server-owned SoA slot (see
+  /// Server::attach_thermal). `spec` and `slot` must outlive the core.
+  void bind_thermal_slot(const ThermalSpec* spec, const double* slot) noexcept {
+    soa_thermal_spec_ = spec;
+    temp_slot_ = slot;
+  }
+  bool has_thermal() const noexcept {
+    return temp_slot_ != nullptr || thermal_.has_value();
+  }
+  /// Advance the inline thermal state (called by Server with the measured
+  /// power; no-op for SoA-bound cores, whose temperature the Server
+  /// advances as one elementwise kernel).
   void update_thermal(double power_w, double dt_s);
   /// Junction temperature; ambient-equivalent when no model is attached.
   double temperature_c() const noexcept;
   /// True when the core runs hot enough that the controller must back off.
   bool thermally_throttled() const noexcept {
+    if (temp_slot_ != nullptr) {
+      return *temp_slot_ >= soa_thermal_spec_->throttle_temp_c;
+    }
     return thermal_ && thermal_->above_throttle();
   }
 
@@ -86,6 +101,9 @@ class CpuCore {
   std::unique_ptr<workload::BatchJob> job_;
   workload::PerfCounterSample counters_;
   std::optional<CoreThermalModel> thermal_;
+  // SoA binding (non-owning; set by Server::attach_thermal).
+  const ThermalSpec* soa_thermal_spec_ = nullptr;
+  const double* temp_slot_ = nullptr;
 };
 
 }  // namespace sprintcon::server

@@ -40,8 +40,11 @@ double FanModel::step(double dt_s, double server_power_w, double idle_w,
                  peak_power_w_);
 
   // First-order lag toward the target.
-  const double alpha = 1.0 - std::exp(-dt_s / tau_s_);
-  power_w_ += alpha * (target - power_w_);
+  if (dt_s != cached_dt_s_) {
+    alpha_ = 1.0 - std::exp(-dt_s / tau_s_);
+    cached_dt_s_ = dt_s;
+  }
+  power_w_ += alpha_ * (target - power_w_);
   return power_w_;
 }
 

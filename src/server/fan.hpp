@@ -32,6 +32,10 @@ class FanModel {
   double power_w_ = 0.0;
   double ambient_bias_ = 0.0;
   double ambient_timer_s_ = 0.0;
+  // Lag coefficient for the last dt seen (dt is constant in a fixed-step
+  // run); computed by the identical expression, so caching is bit-exact.
+  double cached_dt_s_ = -1.0;
+  double alpha_ = 0.0;
 };
 
 }  // namespace sprintcon::server

@@ -1,6 +1,10 @@
 #include "server/rack.hpp"
 
+#include <algorithm>
+#include <cmath>
+
 #include "common/validation.hpp"
+#include "workload/queueing.hpp"
 
 namespace sprintcon::server {
 
@@ -59,6 +63,70 @@ double Rack::mean_freq(CoreRole role) const {
     n += count;
   }
   return n ? sum / static_cast<double>(n) : 0.0;
+}
+
+RackTelemetry Rack::telemetry() const {
+  // One pass over every core, replicating the arithmetic (and the FP
+  // evaluation order) of mean_freq(), the per-core temperature max, and
+  // the rig's historical p95-latency probe, so the fused scan records
+  // bit-identical samples.
+  const workload::LatencyModel latency;
+  // Exactly the -ln(1 - p) factor percentile_response_s(p = 0.95) applies
+  // to the mean; hoisted so the scan pays one log per program, not one
+  // per core per tick. A dark or saturated core counts as the 1-second
+  // clamp — requests are effectively not being served.
+  static const double kP95Factor = -std::log(1.0 - 0.95);
+  constexpr double kClampS = 1.0;
+
+  RackTelemetry out;
+  double inter_sum = 0.0, batch_sum = 0.0;
+  std::size_t inter_n = 0, batch_n = 0;
+  double temp_max = 0.0;
+  double p95_sum = 0.0;
+  std::size_t p95_n = 0;
+  for (const Server& s : servers_) {
+    const bool powered = s.powered();
+    // Per-server accumulation mirrors Server::mean_freq: sum then divide,
+    // then re-weight by the core count (the double round-trip matters for
+    // bit-identity with the historical two-probe path).
+    double s_inter = 0.0, s_batch = 0.0;
+    std::size_t s_inter_n = 0, s_batch_n = 0;
+    for (const CpuCore& c : s.cores()) {
+      const double freq_term = powered ? c.freq() : 0.0;
+      if (c.is_batch()) {
+        s_batch += freq_term;
+        ++s_batch_n;
+      } else {
+        s_inter += freq_term;
+        ++s_inter_n;
+        double t = kClampS;
+        if (powered) {
+          const double mean = latency.mean_response_s(c.freq(), c.utilization());
+          t = std::min(mean * kP95Factor, kClampS);
+        }
+        p95_sum += t;
+        ++p95_n;
+      }
+      temp_max = std::max(temp_max, c.temperature_c());
+    }
+    if (s_inter_n > 0) {
+      inter_sum += s_inter / static_cast<double>(s_inter_n) *
+                   static_cast<double>(s_inter_n);
+    }
+    if (s_batch_n > 0) {
+      batch_sum += s_batch / static_cast<double>(s_batch_n) *
+                   static_cast<double>(s_batch_n);
+    }
+    inter_n += s_inter_n;
+    batch_n += s_batch_n;
+  }
+  out.freq_interactive =
+      inter_n ? inter_sum / static_cast<double>(inter_n) : 0.0;
+  out.freq_batch = batch_n ? batch_sum / static_cast<double>(batch_n) : 0.0;
+  out.core_temp_max_c = temp_max;
+  out.p95_latency_ms =
+      p95_n ? p95_sum / static_cast<double>(p95_n) * 1000.0 : 0.0;
+  return out;
 }
 
 void Rack::set_all_powered(bool on) {

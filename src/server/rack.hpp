@@ -16,6 +16,17 @@ struct BatchCoreRef {
   std::size_t core = 0;
 };
 
+/// Per-tick telemetry the recorder samples, produced by ONE pass over the
+/// rack's cores (fusing what used to be four independent O(num_cores)
+/// probe scans). Field semantics match the historical probes exactly:
+/// powered-off servers report frequency 0 and saturated request latency.
+struct RackTelemetry {
+  double freq_interactive = 0.0;  ///< rack-mean normalized frequency
+  double freq_batch = 0.0;
+  double core_temp_max_c = 0.0;   ///< hottest core junction temperature
+  double p95_latency_ms = 0.0;    ///< rack-mean M/M/1 p95 response time
+};
+
 /// The rack owns its servers and advances them each tick. Controllers
 /// address batch cores through BatchCoreRef lists so they never need to
 /// know the rack layout.
@@ -47,6 +58,11 @@ class Rack : public sim::Component {
 
   /// Rack-mean normalized frequency by class (powered-off servers count 0).
   double mean_freq(CoreRole role) const;
+
+  /// Fused telemetry scan: all of mean_freq(both roles), the hottest core
+  /// temperature, and the rack-mean p95 request latency in a single pass.
+  /// Bit-identical to calling the individual accessors.
+  RackTelemetry telemetry() const;
 
   /// Power every server on/off (UPS exhaustion outage).
   void set_all_powered(bool on);

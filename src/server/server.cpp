@@ -1,5 +1,7 @@
 #include "server/server.hpp"
 
+#include <cmath>
+
 #include "common/validation.hpp"
 
 namespace sprintcon::server {
@@ -19,6 +21,18 @@ Server::Server(const PlatformSpec& spec, std::vector<CpuCore> cores, Rng rng)
                     "core count must match the platform spec");
 }
 
+void Server::attach_thermal(const ThermalSpec& spec) {
+  spec.validate();
+  thermal_spec_ = spec;
+  thermal_soa_ = true;
+  thermal_cached_dt_s_ = -1.0;
+  core_temp_.assign(cores_.size(), spec.ambient_c);
+  core_dyn_w_.assign(cores_.size(), 0.0);
+  for (std::size_t i = 0; i < cores_.size(); ++i) {
+    cores_[i].bind_thermal_slot(&thermal_spec_, &core_temp_[i]);
+  }
+}
+
 void Server::step(double dt_s, double now_s) {
   if (!powered_) {
     power_w_ = 0.0;
@@ -30,15 +44,36 @@ void Server::step(double dt_s, double now_s) {
 
   inter_dyn_w_ = 0.0;
   batch_dyn_w_ = 0.0;
-  for (CpuCore& core : cores_) {
+  for (std::size_t i = 0; i < cores_.size(); ++i) {
+    CpuCore& core = cores_[i];
     core.step(dt_s, now_s);
     const double dyn =
         measurement_.core_dynamic_w(core.freq(), core.utilization());
-    core.update_thermal(dyn, dt_s);
+    if (thermal_soa_) {
+      core_dyn_w_[i] = dyn;
+    } else {
+      core.update_thermal(dyn, dt_s);
+    }
     if (core.is_batch()) {
       batch_dyn_w_ += dyn;
     } else {
       inter_dyn_w_ += dyn;
+    }
+  }
+
+  if (thermal_soa_) {
+    if (dt_s != thermal_cached_dt_s_) {
+      // Same expression CoreThermalModel::step uses, so the SoA kernel
+      // produces bit-identical temperatures.
+      thermal_alpha_ = 1.0 - std::exp(-dt_s / thermal_spec_.time_constant_s);
+      thermal_cached_dt_s_ = dt_s;
+    }
+    const double ambient = thermal_spec_.ambient_c;
+    const double r_th = thermal_spec_.resistance_c_per_w;
+    const double alpha = thermal_alpha_;
+    for (std::size_t i = 0; i < core_temp_.size(); ++i) {
+      const double target = ambient + r_th * core_dyn_w_[i];
+      core_temp_[i] += alpha * (target - core_temp_[i]);
     }
   }
 

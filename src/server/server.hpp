@@ -27,6 +27,14 @@ class Server {
   std::vector<CpuCore>& cores() noexcept { return cores_; }
   const std::vector<CpuCore>& cores() const noexcept { return cores_; }
 
+  /// Attach one shared thermal model to every core, storing per-core
+  /// junction temperatures in a server-owned SoA array that step()
+  /// advances as a single elementwise kernel (cache-friendly, one cached
+  /// exp per dt). Numerically identical to attaching a CoreThermalModel
+  /// to each core. Must be called once the server has reached its final
+  /// address (cores keep raw pointers into this object).
+  void attach_thermal(const ThermalSpec& spec);
+
   /// Advance all cores and the fan by dt. No-op when powered off.
   void step(double dt_s, double now_s);
 
@@ -57,6 +65,14 @@ class Server {
   std::vector<CpuCore> cores_;
   MeasurementPowerModel measurement_;
   FanModel fan_;
+  // SoA thermal state (attach_thermal); empty when cores carry their own
+  // per-core models.
+  ThermalSpec thermal_spec_{};
+  bool thermal_soa_ = false;
+  std::vector<double> core_temp_;
+  std::vector<double> core_dyn_w_;
+  double thermal_cached_dt_s_ = -1.0;
+  double thermal_alpha_ = 0.0;
   bool powered_ = true;
   double power_w_ = 0.0;
   double inter_dyn_w_ = 0.0;

@@ -25,8 +25,11 @@ void CoreThermalModel::step(double power_w, double dt_s) {
   SPRINTCON_EXPECTS(power_w >= 0.0, "core power must be non-negative");
   SPRINTCON_EXPECTS(dt_s > 0.0, "dt must be positive");
   const double target = steady_state_c(power_w);
-  const double alpha = 1.0 - std::exp(-dt_s / spec_.time_constant_s);
-  temperature_c_ += alpha * (target - temperature_c_);
+  if (dt_s != cached_dt_s_) {
+    alpha_ = 1.0 - std::exp(-dt_s / spec_.time_constant_s);
+    cached_dt_s_ = dt_s;
+  }
+  temperature_c_ += alpha_ * (target - temperature_c_);
 }
 
 }  // namespace sprintcon::server

@@ -67,6 +67,12 @@ class CoreThermalModel {
  private:
   ThermalSpec spec_;
   double temperature_c_;
+  // First-order update coefficient for the last dt seen. dt is constant
+  // across a fixed-step run, so this avoids one exp per core per tick;
+  // the cached value is produced by the identical expression, keeping
+  // results bit-identical.
+  double cached_dt_s_ = -1.0;
+  double alpha_ = 0.0;
 };
 
 }  // namespace sprintcon::server

@@ -3,6 +3,13 @@
 // Probes are arbitrary callables (typically lambdas reading component
 // state); the recorder turns them into TimeSeries that the metrics layer
 // and the figure-reproduction benches consume.
+//
+// Hot-path notes (the recorder runs once per simulated tick):
+//  * reserve_horizon() pre-sizes every channel vector (and the name->index
+//    map) from the run length, so steady-state sampling never allocates.
+//  * add_probe_group() registers several channels filled by ONE callback —
+//    the scenario layer uses it to fuse what used to be four separate
+//    O(num_cores) scans into a single pass with batched appends.
 #pragma once
 
 #include <cstddef>
@@ -21,11 +28,27 @@ class SimClock;
 /// Collects one TimeSeries per registered probe.
 class TraceRecorder {
  public:
+  /// Widest probe group sample() can buffer on the stack.
+  static constexpr std::size_t kMaxGroupChannels = 16;
+
   /// @param dt_s sampling interval; must equal the simulation step.
   explicit TraceRecorder(double dt_s);
 
   /// Register a probe. Names must be unique.
   void add_probe(std::string name, std::function<double()> probe);
+
+  /// Register a group of channels produced by one callback: each tick the
+  /// callback fills out[0..names.size()) and the recorder appends every
+  /// value. Lets one pass over shared state feed several channels.
+  void add_probe_group(std::vector<std::string> names,
+                       std::function<void(double*)> probe);
+
+  /// Pre-size every channel vector (current and future) for a run of
+  /// `expected_samples` ticks, and the name->index map for
+  /// `expected_channels` probes, so steady-state sampling never grows a
+  /// container. Callable any time; growth past the reservation is safe.
+  void reserve_horizon(std::size_t expected_samples,
+                       std::size_t expected_channels = 24);
 
   /// Sample all probes (called by Simulation once per tick).
   void sample();
@@ -45,12 +68,26 @@ class TraceRecorder {
     }
   };
 
+  struct ScalarProbe {
+    std::size_t series_index;
+    std::function<double()> fn;
+  };
+  struct GroupProbe {
+    std::size_t first_series;
+    std::size_t count;
+    std::function<void(double*)> fn;
+  };
+
+  std::size_t register_channel(std::string name);
+
   double dt_s_;
-  std::vector<std::function<double()>> probes_;
+  std::size_t expected_samples_ = 0;
+  std::vector<ScalarProbe> probes_;
+  std::vector<GroupProbe> groups_;
   std::vector<TimeSeries> series_;
-  /// name -> index into series_/probes_; rigs register dozens of probes
-  /// and the metrics layer queries them by name per summary field, so
-  /// lookups are O(1) instead of a linear scan over the channels.
+  /// name -> index into series_; rigs register dozens of probes and the
+  /// metrics layer queries them by name per summary field, so lookups are
+  /// O(1) instead of a linear scan over the channels.
   std::unordered_map<std::string, std::size_t, StringHash, std::equal_to<>>
       index_;
 };

@@ -84,6 +84,16 @@ class InteractiveTraceGenerator final : public UtilizationSource {
   double ar_state_ = 0.0;
   double spike_level_ = 0.0;
   double utilization_;
+  // The AR(1)/spike discretization factors depend only on (config, dt).
+  // dt is fixed for a whole simulation, so cache them keyed on the last
+  // dt seen instead of paying three exp + one sqrt per core per tick.
+  // Values are computed by the exact same expressions, so cached runs are
+  // bit-identical to uncached ones.
+  double cached_dt_s_ = -1.0;
+  double noise_rho_ = 0.0;
+  double innovation_sigma_ = 0.0;
+  double spike_retain_ = 0.0;
+  double spike_p_arrival_ = 0.0;
 };
 
 }  // namespace sprintcon::workload

@@ -1,0 +1,144 @@
+// Sharded-execution determinism sweep.
+//
+// The sharded Facility executor must be bit-identical to sequential
+// execution under every configuration dimension that touches scheduling:
+// rig counts that divide unevenly across shards, thread counts above and
+// below the rig count, active fault plans (injector RNG lives per rig),
+// and observability on/off (the obs emit path runs on worker threads).
+// `ASSERT_EQ` on doubles here is deliberate — not NEAR: the contract is
+// the same bits, not similar trajectories.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "fault/fault.hpp"
+#include "scenario/facility.hpp"
+
+namespace sprintcon::scenario {
+namespace {
+
+// Small but non-trivial: 2 servers x 8 cores per rig, two allocator
+// epochs plus a partial third (duration not a multiple of epoch_s), one
+// CB overload window.
+FacilityConfig sweep_config(std::size_t racks, std::size_t threads,
+                            bool faults, bool observability) {
+  FacilityConfig cfg;
+  cfg.num_racks = racks;
+  cfg.staggered = true;
+  cfg.run_threads = threads;
+  cfg.epoch_s = 30.0;
+  cfg.observability = observability;
+  cfg.rack.num_servers = 2;
+  cfg.rack.sprint.cb_rated_w = 2.0 * 300.0 * (2.0 / 3.0);
+  cfg.rack.ups_capacity_wh = 50.0;
+  cfg.rack.duration_s = 70.0;
+  cfg.rack.completion = workload::CompletionMode::kRepeat;
+  if (faults) {
+    // One sensing fault and one actuation fault, both windows inside the
+    // run; the injector draws from its own per-rig RNG every tick the
+    // noise is active, so any cross-shard leakage would show up here.
+    cfg.rack.faults = fault::FaultPlan::parse_string(
+        "meter_noise start=10 duration=30 magnitude=0.05\n"
+        "dvfs_lag start=20 duration=25 magnitude=3\n");
+  }
+  return cfg;
+}
+
+void expect_bit_identical(Facility& reference, Facility& sharded,
+                          const std::string& what) {
+  ASSERT_EQ(reference.num_racks(), sharded.num_racks()) << what;
+  for (std::size_t r = 0; r < reference.num_racks(); ++r) {
+    const auto& rec_ref = reference.rig(r).recorder();
+    const auto& rec_sh = sharded.rig(r).recorder();
+    for (const std::string& channel : rec_ref.channel_names()) {
+      const TimeSeries& a = rec_ref.series(channel);
+      const TimeSeries& b = rec_sh.series(channel);
+      ASSERT_EQ(a.size(), b.size())
+          << what << " channel " << channel << " rack " << r;
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        ASSERT_EQ(a[i], b[i]) << what << " channel " << channel << " rack "
+                              << r << " sample " << i;
+      }
+    }
+  }
+}
+
+TEST(FacilityShard, SweepIsBitIdenticalToSequential) {
+  const std::size_t rack_counts[] = {1, 3, 8};
+  const std::size_t thread_counts[] = {2, 3, 5};
+  for (const std::size_t racks : rack_counts) {
+    for (const bool faults : {false, true}) {
+      for (const bool obs : {false, true}) {
+        Facility reference(sweep_config(racks, 1, faults, obs));
+        reference.run();
+        for (const std::size_t threads : thread_counts) {
+          const std::string what =
+              "racks=" + std::to_string(racks) +
+              " threads=" + std::to_string(threads) +
+              " faults=" + std::to_string(faults) +
+              " obs=" + std::to_string(obs);
+          Facility sharded(sweep_config(racks, threads, faults, obs));
+          sharded.run();
+          expect_bit_identical(reference, sharded, what);
+        }
+      }
+    }
+  }
+}
+
+TEST(FacilityShard, EpochLengthDoesNotChangeResults) {
+  // Epochs only re-cut the schedule, never the simulated trajectories:
+  // a whole-run epoch and a per-tick epoch must agree bit-for-bit.
+  FacilityConfig coarse = sweep_config(3, 2, true, false);
+  coarse.epoch_s = 1e9;  // single epoch
+  FacilityConfig fine = sweep_config(3, 2, true, false);
+  fine.epoch_s = 7.0;  // many uneven epochs
+  Facility a(coarse);
+  Facility b(fine);
+  a.run();
+  b.run();
+  expect_bit_identical(a, b, "epoch-length");
+}
+
+TEST(FacilityShard, ShardsResolveToAtMostNumRacks) {
+  FacilityConfig cfg = sweep_config(3, 16, false, false);
+  Facility facility(cfg);
+  EXPECT_EQ(facility.num_shards(), 3u);
+}
+
+TEST(FacilityShard, EpochCallbackSeesQuiescentRigsAtEpochTime) {
+  FacilityConfig cfg = sweep_config(4, 2, false, false);
+  // 70 s at 30 s epochs = boundaries at 30, 60, 70.
+  std::vector<std::pair<std::size_t, double>> seen;
+  Facility* facility_ptr = nullptr;
+  cfg.epoch_callback = [&](std::size_t epoch, double t_s) {
+    seen.emplace_back(epoch, t_s);
+    // Every worker is parked at the barrier, so every rig's clock must
+    // have reached the epoch boundary (the clock overshoots t_s by at
+    // most one dt when the epoch is not a tick multiple).
+    for (std::size_t r = 0; r < facility_ptr->num_racks(); ++r) {
+      const double now =
+          facility_ptr->rig(r).simulation().clock().now_s();
+      EXPECT_GE(now, t_s);
+      EXPECT_LT(now, t_s + facility_ptr->rig(r).config().dt_s + 1e-12);
+    }
+  };
+  Facility facility(cfg);
+  facility_ptr = &facility;
+  facility.run();
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen[0], (std::pair<std::size_t, double>{0, 30.0}));
+  EXPECT_EQ(seen[1], (std::pair<std::size_t, double>{1, 60.0}));
+  EXPECT_EQ(seen[2], (std::pair<std::size_t, double>{2, 70.0}));
+}
+
+TEST(FacilityShard, InvalidEpochThrows) {
+  FacilityConfig cfg = sweep_config(2, 1, false, false);
+  cfg.epoch_s = 0.0;
+  EXPECT_THROW(Facility{cfg}, InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace sprintcon::scenario

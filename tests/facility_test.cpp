@@ -139,9 +139,9 @@ TEST(Facility, ObservedParallelRunAggregatesMetrics) {
   const obs::MetricsSnapshot snap = facility.obs()->metrics().snapshot();
   EXPECT_EQ(snap.counter("facility.racks"), 3u);
   EXPECT_GT(snap.gauge("facility.run_s"), 0.0);
-  EXPECT_EQ(snap.counter("pool.tasks_submitted"), 3u);
-  EXPECT_EQ(snap.counter("pool.tasks_completed"), 3u);
-  EXPECT_DOUBLE_EQ(snap.gauge("pool.threads"), 3.0);
+  // 450 s run at the default 30 s epoch = 15 barrier epochs.
+  EXPECT_EQ(snap.counter("facility.epochs"), 15u);
+  EXPECT_DOUBLE_EQ(snap.gauge("facility.shards"), 3.0);
   ASSERT_EQ(snap.histograms.count("facility.rack_run_us"), 1u);
   EXPECT_EQ(snap.histograms.at("facility.rack_run_us").count, 3u);
 
