@@ -6,12 +6,18 @@
 // dumps the same data for scripts/report_check.py.
 //
 //   ./build/examples/facility_dashboard [num_racks] [--json FILE]
-//                                       [--faults PLAN]
+//                                       [--faults PLAN] [--trace FILE]
 //
 // `--faults PLAN` loads a fault plan (see src/fault/fault.hpp for the
 // format) and injects it into every rack — the dashboard then shows how
 // the floor degrades (and recovers) under meter, actuator, UPS, breaker
 // or utility faults.
+//
+// `--trace FILE` records the decision-path and shard-runtime spans and
+// writes them as Chrome trace-event JSON: open FILE in
+// https://ui.perfetto.dev (or chrome://tracing) to see where the wall
+// clock went, per rack and per worker shard. scripts/check_trace.py
+// validates the schema.
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -23,12 +29,27 @@
 #include "obs/export.hpp"
 #include "scenario/facility.hpp"
 
+#ifndef SPRINTCON_GIT_COMMIT
+#define SPRINTCON_GIT_COMMIT "unknown"
+#endif
+#ifndef SPRINTCON_BUILD_TYPE
+#define SPRINTCON_BUILD_TYPE "unknown"
+#endif
+
 namespace {
 
-/// {"facility":{"metrics":...},"racks":[<report>,...]} for tooling.
+/// {"context":{...},"facility":{"metrics":...},"racks":[<report>,...]}.
+/// The context block records build provenance (git commit, build type)
+/// and run shape so an archived report is self-describing.
 std::string facility_json(const sprintcon::scenario::Facility& facility,
                           const std::vector<sprintcon::obs::RunReport>& racks) {
-  std::string out = "{\"facility\":{\"metrics\":";
+  std::string out = "{\"context\":{\"git_commit\":\"" SPRINTCON_GIT_COMMIT
+                    "\",\"build_type\":\"" SPRINTCON_BUILD_TYPE "\"";
+  out += ",\"num_racks\":" + std::to_string(facility.num_racks());
+  out += ",\"num_shards\":" + std::to_string(facility.num_shards());
+  out += ",\"duration_s\":" +
+         std::to_string(facility.rig(0).config().duration_s);
+  out += "},\"facility\":{\"metrics\":";
   out += sprintcon::obs::metrics_to_json(facility.obs()->metrics().snapshot());
   out += "},\"racks\":[";
   for (std::size_t r = 0; r < racks.size(); ++r) {
@@ -47,19 +68,25 @@ int main(int argc, char** argv) {
   std::size_t racks = 4;
   std::string json_path;
   std::string faults_path;
+  std::string trace_path;
+  std::size_t threads = 0;  // 0 = one worker per hardware thread
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--json" && i + 1 < argc) {
       json_path = argv[++i];
     } else if (arg == "--faults" && i + 1 < argc) {
       faults_path = argv[++i];
+    } else if (arg == "--trace" && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (arg == "--threads" && i + 1 < argc) {
+      threads = static_cast<std::size_t>(std::atoi(argv[++i]));
     } else {
       racks = static_cast<std::size_t>(std::atoi(arg.c_str()));
     }
   }
   if (racks == 0 || racks > 16) {
     std::cerr << "usage: facility_dashboard [1..16 racks] [--json FILE]"
-                 " [--faults PLAN]\n";
+                 " [--faults PLAN] [--trace FILE] [--threads N]\n";
     return 1;
   }
 
@@ -67,6 +94,8 @@ int main(int argc, char** argv) {
   config.num_racks = racks;
   config.staggered = true;
   config.observability = true;
+  config.tracing = !trace_path.empty();
+  config.run_threads = threads;
   if (!faults_path.empty()) {
     try {
       config.rack.faults = fault::FaultPlan::load(faults_path);
@@ -167,6 +196,20 @@ int main(int argc, char** argv) {
     }
     out << facility_json(facility, reports) << "\n";
     std::cout << "\nwrote structured report to " << json_path << "\n";
+  }
+
+  if (!trace_path.empty()) {
+    std::ofstream out(trace_path);
+    if (!out) {
+      std::cerr << "cannot open " << trace_path << " for writing\n";
+      return 1;
+    }
+    facility.tracer()->write_chrome_trace(out);
+    std::cout << "\nwrote " << facility.tracer()->total_events()
+              << " trace events (" << facility.tracer()->num_buffers()
+              << " tracks, " << facility.tracer()->total_dropped()
+              << " dropped) to " << trace_path
+              << "\n  open in https://ui.perfetto.dev or chrome://tracing\n";
   }
   return 0;
 }

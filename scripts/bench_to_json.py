@@ -22,11 +22,20 @@ describes the benchmark *library*, not this code, and is ignored. Numbers
 from a Debug build are refused (override with --allow-debug, which still
 stamps the truth into the JSON).
 
+With `--compare OLD.json` the freshly condensed document is also diffed
+against a previously recorded one: every headline metric present in both
+is checked in its natural direction (times and overhead percentages must
+not grow, throughput and speedups must not shrink) against a relative
+threshold (default 5%, `--threshold`). Any regression is printed and the
+script exits non-zero, so a CI step can gate on
+`bench_to_json.py --compare BENCH_controller.json`.
+
 Usage:
     scripts/bench_to_json.py [--build-dir build-release] [--no-build]
                              [--bench-binary PATH] [--output FILE]
                              [--filter REGEX] [--min-time SECONDS]
                              [--allow-debug]
+                             [--compare OLD.json] [--threshold PCT]
 """
 
 import argparse
@@ -197,6 +206,37 @@ def condense(raw: dict, build_type: str) -> dict:
     }
 
 
+def headline_direction(key: str):
+    """'lower' / 'higher' for a headline metric, None when unordered."""
+    if "per_second" in key or "speedup" in key:
+        return "higher"
+    if key.endswith("_ns") or key.endswith("_pct"):
+        return "lower"
+    return None
+
+
+def compare_headlines(old: dict, new: dict, threshold_pct: float) -> list:
+    """Regression messages for headline metrics that moved the wrong way
+    by more than threshold_pct percent. Metrics missing from either side
+    or without a natural direction are skipped."""
+    regressions = []
+    tolerance = threshold_pct / 100.0
+    for key in sorted(set(old) & set(new)):
+        direction = headline_direction(key)
+        before, after = old[key], new[key]
+        if direction is None or not all(
+                isinstance(v, (int, float)) and v > 0
+                for v in (before, after)):
+            continue
+        change = (after - before) / before
+        arrow = f"{before:g} -> {after:g} ({change:+.1%})"
+        if direction == "lower" and change > tolerance:
+            regressions.append(f"{key}: {arrow}, allowed +{tolerance:.0%}")
+        elif direction == "higher" and change < -tolerance:
+            regressions.append(f"{key}: {arrow}, allowed -{tolerance:.0%}")
+    return regressions
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--build-dir",
@@ -215,7 +255,15 @@ def main() -> int:
                         help="per-benchmark minimum measurement time")
     parser.add_argument("--allow-debug", action="store_true",
                         help="record numbers from a non-Release build anyway")
+    parser.add_argument("--compare", type=pathlib.Path, default=None,
+                        help="previously recorded JSON to diff headline "
+                             "metrics against; exit non-zero on regression")
+    parser.add_argument("--threshold", type=float, default=5.0,
+                        help="relative regression threshold in percent "
+                             "(default 5)")
     args = parser.parse_args()
+    if args.threshold < 0:
+        parser.error("--threshold must be non-negative")
 
     build_dir = pathlib.Path(args.build_dir)
     if not args.no_build:
@@ -250,6 +298,34 @@ def main() -> int:
     print(f"wrote {output}")
     if condensed["headline"]:
         print(json.dumps(condensed["headline"], indent=2))
+
+    if args.compare is not None:
+        try:
+            old = json.loads(args.compare.read_text())
+        except FileNotFoundError:
+            print(f"error: baseline {args.compare} not found",
+                  file=sys.stderr)
+            return 1
+        except json.JSONDecodeError as exc:
+            print(f"error: baseline {args.compare} is not valid JSON: {exc}",
+                  file=sys.stderr)
+            return 1
+        old_headline = old.get("headline", {})
+        compared = sorted(set(old_headline) & set(condensed["headline"]))
+        if not compared:
+            print(f"error: no common headline metrics with {args.compare}",
+                  file=sys.stderr)
+            return 1
+        regressions = compare_headlines(old_headline, condensed["headline"],
+                                        args.threshold)
+        if regressions:
+            print(f"PERF REGRESSION vs {args.compare} "
+                  f"(threshold {args.threshold:g}%):", file=sys.stderr)
+            for line in regressions:
+                print(f"  {line}", file=sys.stderr)
+            return 1
+        print(f"compare: OK — {len(compared)} headline metrics within "
+              f"{args.threshold:g}% of {args.compare}")
     return 0
 
 

@@ -28,9 +28,13 @@ def fail(msg: str) -> None:
 
 
 def check_rack(i: int, rack: dict) -> None:
-    for key in ("label", "summary", "metrics", "events"):
+    for key in ("label", "summary", "metrics", "events", "dropped_count"):
         if key not in rack:
             fail(f"rack {i}: missing key '{key}'")
+    if not isinstance(rack["dropped_count"], int) or rack["dropped_count"] < 0:
+        fail(f"rack {i}: dropped_count must be a non-negative integer")
+    if "windowed" not in rack["metrics"]:
+        fail(f"rack {i}: metrics missing 'windowed' section")
     if rack["label"] != f"SprintCon/rack{i}":
         fail(f"rack {i}: unexpected label {rack['label']!r}")
 
@@ -90,6 +94,18 @@ def main() -> int:
         if args.keep is not None:
             args.keep.write_bytes(out_path.read_bytes())
         out_path.unlink(missing_ok=True)
+
+    context = doc.get("context")
+    if not isinstance(context, dict):
+        fail("missing context block")
+    for key in ("git_commit", "build_type", "num_racks", "num_shards",
+                "duration_s"):
+        if key not in context:
+            fail(f"context missing '{key}'")
+    if context["num_racks"] != args.racks:
+        fail(f"context.num_racks != {args.racks}")
+    if context["num_shards"] < 1:
+        fail("context.num_shards must be >= 1")
 
     if "facility" not in doc or "metrics" not in doc["facility"]:
         fail("missing facility.metrics")

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Build the observability test suites under AddressSanitizer and run them
 # (everything labeled `obs`: the event log / metrics / export unit tests
-# plus the safety-event and observed-facility suites). Equivalent to:
+# plus the safety-event, observed-facility, span-tracer, windowed-metrics
+# and health-monitor suites). Equivalent to:
 #   cmake --preset asan && cmake --build --preset asan && ctest --preset asan
 set -euo pipefail
 
@@ -12,5 +13,6 @@ cmake -B build-asan -S . \
   -DSPRINTCON_ASAN=ON \
   -DSPRINTCON_BUILD_BENCH=OFF \
   -DSPRINTCON_BUILD_EXAMPLES=OFF
-cmake --build build-asan -j "$(nproc)" --target obs_test safety_test facility_test
+cmake --build build-asan -j "$(nproc)" --target obs_test safety_test \
+  facility_test export_fuzz_test trace_test windowed_metrics_test health_test
 ctest --test-dir build-asan -L obs --output-on-failure "$@"

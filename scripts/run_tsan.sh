@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Build the concurrency-sensitive test suites under ThreadSanitizer and run
-# them (everything labeled `threads`: the thread pool and the parallel
-# facility). Equivalent to:
+# them (everything labeled `threads`: the thread pool, the parallel
+# facility, and the span tracer under the sharded runtime — trace_test's
+# facility-with-tracing case drives per-worker TraceBuffers and the
+# concurrent metric emitters from every shard). Equivalent to:
 #   cmake --preset tsan && cmake --build --preset tsan && ctest --preset tsan
 set -euo pipefail
 
@@ -13,5 +15,5 @@ cmake -B build-tsan -S . \
   -DSPRINTCON_BUILD_BENCH=OFF \
   -DSPRINTCON_BUILD_EXAMPLES=OFF
 cmake --build build-tsan -j "$(nproc)" --target thread_pool_test facility_test \
-  facility_shard_test obs_test
+  facility_shard_test obs_test trace_test
 ctest --test-dir build-tsan -L threads --output-on-failure "$@"

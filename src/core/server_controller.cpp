@@ -103,9 +103,15 @@ void ServerPowerController::update(double p_total_w, double p_batch_target_w,
   mpc_.step(problem, last_out_);
 
   // Step 3 of the loop: write the new frequencies to the DVFS actuators.
-  for (std::size_t i = 0; i < n; ++i) {
-    rack_.core(refs[i]).set_freq(last_out_.freq_next[i]);
+  {
+    const obs::ScopedSpan span(obs_ != nullptr ? obs_->trace() : nullptr,
+                               "dvfs_actuate", "decision", "cores",
+                               static_cast<double>(n));
+    for (std::size_t i = 0; i < n; ++i) {
+      rack_.core(refs[i]).set_freq(last_out_.freq_next[i]);
+    }
   }
+  record_commanded_freq();
 }
 
 void ServerPowerController::pin_interactive_at_peak() {
@@ -119,6 +125,20 @@ void ServerPowerController::force_batch_frequency(double freq) {
     c.set_freq(freq);
   });
   mpc_.reset();
+  record_commanded_freq();
+}
+
+void ServerPowerController::record_commanded_freq() {
+  if (obs_ == nullptr) return;
+  // The DVFS writes above are the last word this controller has; anything
+  // that later diverges from this gauge (a stuck actuator overwriting the
+  // command, for instance) is an actuation fault the HealthMonitor can
+  // catch by comparing against the realized batch frequencies.
+  const auto& refs = rack_.batch_cores();
+  double sum = 0.0;
+  for (const auto& ref : refs) sum += rack_.core(ref).freq();
+  obs_->metrics().gauge("control.cmd_batch_freq")
+      .set(refs.empty() ? 0.0 : sum / static_cast<double>(refs.size()));
 }
 
 std::vector<BatchJobStatus> ServerPowerController::job_statuses(

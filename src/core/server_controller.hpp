@@ -55,8 +55,13 @@ class ServerPowerController {
 
   const server::LinearPowerModel& model() const noexcept { return model_; }
 
-  /// Attach an observability sink (forwarded to the MPC profiling hooks).
-  void set_obs(obs::ObsSink* sink) { mpc_.set_obs(sink); }
+  /// Attach an observability sink (forwarded to the MPC profiling hooks;
+  /// also enables the dvfs_actuate span and the commanded-frequency gauge
+  /// the HealthMonitor compares against realized frequencies).
+  void set_obs(obs::ObsSink* sink) {
+    obs_ = sink;
+    mpc_.set_obs(sink);
+  }
 
  private:
   SprintConfig config_;
@@ -66,6 +71,9 @@ class ServerPowerController {
   control::GainEstimator gain_estimator_;
   control::MpcProblem problem_;  ///< reused across updates (no realloc)
   control::MpcOutput last_out_;
+  obs::ObsSink* obs_ = nullptr;
+  /// Publish the mean batch frequency this controller just commanded.
+  void record_commanded_freq();
   double last_p_fb_w_ = 0.0;
   /// State for the adaptive-gain observation: the frequency sum we applied
   /// last period and the feedback power we saw before applying it.

@@ -33,6 +33,8 @@ void SprintConController::set_obs(obs::ObsSink* sink) {
 double SprintConController::bid_batch_budget_w(double budget_w,
                                                double p_inter_w,
                                                double now_s) {
+  const obs::ScopedSpan span(obs_ != nullptr ? obs_->trace() : nullptr,
+                             "bid_collect", "decision", "budget_w", budget_w);
   const auto& model = server_ctrl_.model();
 
   // Only the *dynamic* power is controllable; the idle shares of powered
@@ -113,6 +115,16 @@ void SprintConController::step(const sim::SimClock& clock) {
   const double p_meas =
       fault_ != nullptr ? fault_->meter_power_w(p_total) : p_total;
 
+  if (obs_ != nullptr) {
+    // Redundant-sensor cross-check: the decision path sees the (possibly
+    // faulted) meter, the physics path sees truth. Their residual is the
+    // meter-health signal the HealthMonitor watches (DESIGN.md §8.5).
+    obs_->metrics().gauge("control.p_total_w").set(p_total);
+    obs_->metrics().gauge("control.p_meas_w").set(p_meas);
+    obs_->metrics().gauge("control.meter_residual_w")
+        .set(std::abs(p_meas - p_total));
+  }
+
   if (fault_ != nullptr && fault_->control_dropped()) {
     // Control-plane hiccup: this tick's decisions never ran. The physics
     // still advances under the standing commands from the last good tick.
@@ -155,6 +167,8 @@ void SprintConController::step(const sim::SimClock& clock) {
   // --- allocator ----------------------------------------------------------
   allocator_.observe_interactive_power(p_inter);
   if (clock.every(config_.allocator_period_s)) {
+    const obs::ScopedSpan span(obs_ != nullptr ? obs_->trace() : nullptr,
+                               "allocator_epoch", "decision", "t_s", now);
     allocator_.adapt(now, server_ctrl_.job_statuses(now));
   }
   AllocatorTargets targets = allocator_.targets(now);
@@ -234,6 +248,9 @@ void SprintConController::step(const sim::SimClock& clock) {
 
 void SprintConController::resolve_flows(double p_total_w, double now_s,
                                         double dt_s) {
+  const obs::ScopedSpan span(obs_ != nullptr ? obs_->trace() : nullptr,
+                             "power_outcome", "decision", "p_total_w",
+                             p_total_w);
   const power::PowerFlows flows =
       path_.step(p_total_w, ups_command_w_, dt_s, recharge_w_);
   if (flows.unserved_w > 50.0) {

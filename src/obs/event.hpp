@@ -26,6 +26,8 @@ enum class EventType : std::uint8_t {
   kOutage,              ///< unserved demand shut the rack down
   kFaultInjected,       ///< a scripted fault activated (cause = fault kind)
   kFaultCleared,        ///< a scripted fault window ended
+  kHealthDegraded,      ///< a health rule fired (cause = rule name)
+  kHealthRecovered,     ///< a degraded health rule went healthy again
   kCustom,              ///< application-defined
 };
 

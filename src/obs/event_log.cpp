@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/validation.hpp"
+#include "obs/metrics_registry.hpp"
 
 namespace sprintcon::obs {
 
@@ -19,6 +20,8 @@ const char* to_string(EventType type) noexcept {
     case EventType::kOutage: return "outage";
     case EventType::kFaultInjected: return "fault_injected";
     case EventType::kFaultCleared: return "fault_cleared";
+    case EventType::kHealthDegraded: return "health_degraded";
+    case EventType::kHealthRecovered: return "health_recovered";
     case EventType::kCustom: return "custom";
   }
   return "unknown";
@@ -44,6 +47,9 @@ EventLog::EventLog(std::size_t capacity) : ring_(std::max<std::size_t>(1, capaci
 
 void EventLog::emit(double t_s, EventType type, const char* cause,
                     std::initializer_list<EventField> fields) noexcept {
+  if (next_ >= ring_.size() && drop_counter_ != nullptr) {
+    drop_counter_->add(1);  // this emit overwrites the oldest retained event
+  }
   Event& slot = ring_[next_ % ring_.size()];
   slot.t_s = t_s;
   slot.seq = next_;

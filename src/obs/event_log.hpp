@@ -17,6 +17,8 @@
 
 namespace sprintcon::obs {
 
+class Counter;
+
 class EventLog {
  public:
   /// @param capacity ring size (events retained); must be >= 1.
@@ -37,6 +39,14 @@ class EventLog {
   /// Fields discarded because an emit exceeded kMaxEventFields.
   std::uint64_t field_overflow() const noexcept { return field_overflow_; }
 
+  /// Mirror ring overwrites into a metrics counter (`events.dropped`) so
+  /// silent truncation shows up in snapshots and exports, not only to
+  /// callers that think to ask dropped(). Wired by ObsSink; nullptr
+  /// detaches.
+  void set_drop_counter(Counter* counter) noexcept {
+    drop_counter_ = counter;
+  }
+
   /// Retained events, oldest first.
   std::vector<Event> snapshot() const;
 
@@ -46,6 +56,7 @@ class EventLog {
   std::vector<Event> ring_;
   std::uint64_t next_ = 0;  ///< total emitted; next slot = next_ % capacity
   std::uint64_t field_overflow_ = 0;
+  Counter* drop_counter_ = nullptr;
 };
 
 }  // namespace sprintcon::obs

@@ -295,6 +295,34 @@ std::string metrics_to_json(const MetricsSnapshot& snapshot) {
     }
     out += "]}";
   }
+  out += "},";
+  append_key(out, "windowed");
+  out += '{';
+  first = true;
+  for (const auto& [name, w] : snapshot.windowed) {
+    if (!first) out += ',';
+    first = false;
+    append_key(out, name);
+    out += '{';
+    append_key(out, "count");
+    out += std::to_string(w.count);
+    out += ',';
+    append_key(out, "total_count");
+    out += std::to_string(w.total_count);
+    out += ',';
+    append_key(out, "rotations");
+    out += std::to_string(w.rotations);
+    out += ',';
+    append_key(out, "p50");
+    append_double(out, w.p50);
+    out += ',';
+    append_key(out, "p95");
+    append_double(out, w.p95);
+    out += ',';
+    append_key(out, "p99");
+    append_double(out, w.p99);
+    out += '}';
+  }
   out += "}}";
   return out;
 }
@@ -350,6 +378,9 @@ std::string RunReport::to_json() const {
   out += ',';
   append_key(out, "metrics");
   out += metrics_to_json(metrics);
+  out += ',';
+  append_key(out, "dropped_count");
+  out += std::to_string(dropped_count);
   out += ',';
   append_key(out, "events");
   out += '[';

@@ -47,7 +47,8 @@ struct ParsedEvent {
 std::vector<ParsedEvent> parse_events_jsonl(std::istream& in);
 
 /// Metrics snapshot as a JSON object {"counters":{...},"gauges":{...},
-/// "histograms":{name:{count,sum,mean,min,max,p50,p95,p99,buckets}}}.
+/// "histograms":{name:{count,sum,mean,min,max,p50,p95,p99,buckets}},
+/// "windowed":{name:{count,total_count,rotations,p50,p95,p99}}}.
 std::string metrics_to_json(const MetricsSnapshot& snapshot);
 
 /// RunSummary as a flat JSON object.
@@ -60,6 +61,10 @@ struct RunReport {
   metrics::RunSummary summary;
   MetricsSnapshot metrics;
   std::vector<Event> events;
+  /// Events lost to ring overwrite before this snapshot was taken — the
+  /// `events` array is the retained tail, and readers need to know it is
+  /// a tail. Fill from EventLog::dropped().
+  std::uint64_t dropped_count = 0;
 
   std::string to_json() const;
 };

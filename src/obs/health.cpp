@@ -1,0 +1,138 @@
+#include "obs/health.hpp"
+
+#include <cmath>
+#include <cstring>
+
+#include "common/validation.hpp"
+
+namespace sprintcon::obs {
+
+HealthMonitor::HealthMonitor(ObsSink* sink) : sink_(sink) {
+  SPRINTCON_EXPECTS(sink != nullptr, "HealthMonitor needs a sink");
+}
+
+void HealthMonitor::add_rule(HealthRule rule) {
+  SPRINTCON_EXPECTS(rule.name != nullptr, "health rule needs a name");
+  SPRINTCON_EXPECTS(!rule.metric.empty(), "health rule needs a metric");
+  SPRINTCON_EXPECTS(rule.consecutive >= 1 && rule.recover_after >= 1,
+                    "health rule streaks must be >= 1");
+  SPRINTCON_EXPECTS(
+      rule.kind != HealthRuleKind::kStuck || !rule.reference.empty(),
+      "stuck-signal rule needs a reference gauge");
+  rules_.push_back(std::move(rule));
+  states_.emplace_back();
+}
+
+std::size_t HealthMonitor::active_alerts() const noexcept {
+  std::size_t n = 0;
+  for (const RuleState& s : states_) n += s.degraded ? 1 : 0;
+  return n;
+}
+
+bool HealthMonitor::degraded(const char* name) const noexcept {
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    if (std::strcmp(rules_[i].name, name) == 0) return states_[i].degraded;
+  }
+  return false;
+}
+
+bool HealthMonitor::read_signal(const MetricsSnapshot& snap,
+                                const HealthRule& rule, double& out) {
+  switch (rule.signal) {
+    case HealthSignal::kGauge: {
+      const auto it = snap.gauges.find(rule.metric);
+      if (it == snap.gauges.end()) return false;
+      out = it->second;
+      return true;
+    }
+    case HealthSignal::kCounter: {
+      const auto it = snap.counters.find(rule.metric);
+      if (it == snap.counters.end()) return false;
+      out = static_cast<double>(it->second);
+      return true;
+    }
+    case HealthSignal::kHistogramP99: {
+      const auto it = snap.histograms.find(rule.metric);
+      if (it == snap.histograms.end() || it->second.count == 0) return false;
+      out = it->second.p99;
+      return true;
+    }
+    case HealthSignal::kWindowedP99: {
+      const auto it = snap.windowed.find(rule.metric);
+      if (it == snap.windowed.end() || it->second.count == 0) return false;
+      out = it->second.p99;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool HealthMonitor::breaches(const HealthRule& rule, RuleState& state,
+                             double value, const MetricsSnapshot& snap) {
+  switch (rule.kind) {
+    case HealthRuleKind::kAbove:
+      return value > rule.threshold;
+    case HealthRuleKind::kBelow:
+      return value < rule.threshold;
+    case HealthRuleKind::kStuck: {
+      const auto it = snap.gauges.find(rule.reference);
+      if (it == snap.gauges.end()) return false;
+      const double ref = it->second;
+      bool breach = false;
+      if (state.has_prev) {
+        // Frozen signal while the reference keeps moving: the classic
+        // dead-sensor signature. The reference must move by more than the
+        // threshold too, else a genuinely quiet system looks stuck.
+        breach = std::fabs(value - state.prev_value) <= rule.threshold &&
+                 std::fabs(ref - state.prev_ref) > rule.threshold;
+      }
+      state.prev_ref = ref;
+      return breach;
+    }
+    case HealthRuleKind::kRateAbove: {
+      bool breach = false;
+      if (state.has_prev) breach = value - state.prev_value > rule.threshold;
+      return breach;
+    }
+  }
+  return false;
+}
+
+void HealthMonitor::check(double now_s) {
+  const MetricsSnapshot snap = sink_->metrics().snapshot();
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    const HealthRule& rule = rules_[i];
+    RuleState& state = states_[i];
+    double value = 0.0;
+    if (!read_signal(snap, rule, value)) continue;  // no data, no verdict
+    const bool breach = breaches(rule, state, value, snap);
+    state.prev_value = value;
+    state.has_prev = true;
+    if (breach) {
+      state.ok_streak = 0;
+      ++state.breach_streak;
+      if (!state.degraded && state.breach_streak >= rule.consecutive) {
+        state.degraded = true;
+        sink_->events().emit(now_s, EventType::kHealthDegraded, rule.name,
+                             {{"value", value},
+                              {"threshold", rule.threshold},
+                              {"streak", double(state.breach_streak)}});
+        sink_->metrics().counter("health.degraded").add(1);
+      }
+    } else {
+      state.breach_streak = 0;
+      ++state.ok_streak;
+      if (state.degraded && state.ok_streak >= rule.recover_after) {
+        state.degraded = false;
+        sink_->events().emit(now_s, EventType::kHealthRecovered, rule.name,
+                             {{"value", value},
+                              {"threshold", rule.threshold}});
+        sink_->metrics().counter("health.recovered").add(1);
+      }
+    }
+  }
+  sink_->metrics().gauge("health.active_alerts")
+      .set(static_cast<double>(active_alerts()));
+}
+
+}  // namespace sprintcon::obs

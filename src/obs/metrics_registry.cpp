@@ -75,6 +75,59 @@ double Histogram::percentile(double p) const noexcept {
   return max();
 }
 
+void WindowedHistogram::record(double v) noexcept {
+  Window& w = windows_[static_cast<std::size_t>(
+      current_.load(std::memory_order_relaxed) % kWindows)];
+  w.buckets[static_cast<std::size_t>(Histogram::bucket_index(v))].fetch_add(
+      1, std::memory_order_relaxed);
+  w.count.fetch_add(1, std::memory_order_relaxed);
+  total_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void WindowedHistogram::rotate() noexcept {
+  // The slot that becomes current held the oldest window; clear it so new
+  // samples start a fresh window and the retired distribution drops out
+  // of the quantile view.
+  const std::uint64_t next = current_.load(std::memory_order_relaxed) + 1;
+  Window& w = windows_[static_cast<std::size_t>(next % kWindows)];
+  for (auto& b : w.buckets) b.store(0, std::memory_order_relaxed);
+  w.count.store(0, std::memory_order_relaxed);
+  current_.store(next, std::memory_order_relaxed);
+}
+
+std::uint64_t WindowedHistogram::count() const noexcept {
+  std::uint64_t n = 0;
+  for (const Window& w : windows_) n += w.count.load(std::memory_order_relaxed);
+  return n;
+}
+
+double WindowedHistogram::percentile(double p) const noexcept {
+  std::array<std::uint64_t, kBuckets> merged{};
+  std::uint64_t n = 0;
+  for (const Window& w : windows_) {
+    for (int i = 0; i < kBuckets; ++i) {
+      const std::uint64_t c = w.buckets[static_cast<std::size_t>(i)].load(
+          std::memory_order_relaxed);
+      merged[static_cast<std::size_t>(i)] += c;
+      n += c;
+    }
+  }
+  if (n == 0) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  const double target = p * static_cast<double>(n);
+  std::uint64_t cum = 0;
+  int last_nonempty = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    const std::uint64_t c = merged[static_cast<std::size_t>(i)];
+    if (c > 0) last_nonempty = i;
+    cum += c;
+    if (static_cast<double>(cum) >= target && cum > 0) {
+      return Histogram::bucket_upper_edge(i);
+    }
+  }
+  return Histogram::bucket_upper_edge(last_nonempty);
+}
+
 std::uint64_t MetricsSnapshot::counter(std::string_view name,
                                        std::uint64_t fallback) const {
   const auto it = counters.find(std::string(name));
@@ -93,7 +146,9 @@ void MetricsRegistry::expect_unique(std::string_view name,
                      (gauges_.find(name) != gauges_.end() &&
                       std::string_view(kind) != "gauge") ||
                      (histograms_.find(name) != histograms_.end() &&
-                      std::string_view(kind) != "histogram");
+                      std::string_view(kind) != "histogram") ||
+                     (windowed_.find(name) != windowed_.end() &&
+                      std::string_view(kind) != "windowed");
   SPRINTCON_EXPECTS(!taken, "metric name already registered as another kind: " +
                                 std::string(name));
 }
@@ -124,6 +179,15 @@ Histogram& MetricsRegistry::histogram(std::string_view name) {
   return get_or_create(histograms_, name, "histogram");
 }
 
+WindowedHistogram& MetricsRegistry::windowed(std::string_view name) {
+  return get_or_create(windowed_, name, "windowed");
+}
+
+void MetricsRegistry::rotate_windows() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, w] : windowed_) w->rotate();
+}
+
 MetricsSnapshot MetricsRegistry::snapshot() const {
   MetricsSnapshot out;
   std::lock_guard<std::mutex> lock(mutex_);
@@ -144,6 +208,16 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
       if (n > 0) s.buckets.emplace_back(Histogram::bucket_upper_edge(i), n);
     }
     out.histograms[name] = std::move(s);
+  }
+  for (const auto& [name, w] : windowed_) {
+    MetricsSnapshot::WindowedStats s;
+    s.count = w->count();
+    s.total_count = w->total_count();
+    s.rotations = w->rotations();
+    s.p50 = w->percentile(0.50);
+    s.p95 = w->percentile(0.95);
+    s.p99 = w->percentile(0.99);
+    out.windowed[name] = s;
   }
   return out;
 }

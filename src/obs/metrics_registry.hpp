@@ -84,6 +84,51 @@ class Histogram {
   std::atomic<double> max_{0.0};
 };
 
+/// Sliding-window histogram: the same base-2 log-scale buckets as
+/// Histogram, but striped across a ring of kWindows windows. record()
+/// lands in the current window; rotate() (called on a time boundary by
+/// the owner — a rig's metrics window, a facility epoch) retires the
+/// oldest window. Quantiles merge the retained windows, so p50/p95/p99
+/// track the *recent* distribution instead of the whole run — the
+/// tail-latency estimate an SLO monitor or a QoS-aware router needs
+/// (arXiv:1912.09870). Updates are relaxed atomics like Histogram's;
+/// rotate() racing record() only misfiles that one sample into the
+/// adjacent window, which the one-bucket accuracy contract absorbs.
+class WindowedHistogram {
+ public:
+  static constexpr int kWindows = 8;
+  static constexpr int kBuckets = Histogram::kBuckets;
+
+  void record(double v) noexcept;
+  /// Advance the window ring: the slot that now becomes current is
+  /// cleared, dropping the oldest window from the quantile view.
+  void rotate() noexcept;
+
+  /// Samples ever recorded (across all rotations).
+  std::uint64_t total_count() const noexcept {
+    return total_.load(std::memory_order_relaxed);
+  }
+  /// Samples in the retained windows (the quantile population).
+  std::uint64_t count() const noexcept;
+  std::uint64_t rotations() const noexcept {
+    return current_.load(std::memory_order_relaxed);
+  }
+  /// Quantile over the retained windows, resolved to the upper edge of
+  /// the bucket holding the order statistic (within one log-scale bucket
+  /// of exact — property-tested). 0 when empty. p in [0, 1].
+  double percentile(double p) const noexcept;
+
+ private:
+  struct Window {
+    std::array<std::atomic<std::uint64_t>, kBuckets> buckets{};
+    std::atomic<std::uint64_t> count{0};
+  };
+
+  std::array<Window, kWindows> windows_{};
+  std::atomic<std::uint64_t> current_{0};  ///< monotone; slot = % kWindows
+  std::atomic<std::uint64_t> total_{0};
+};
+
 /// Point-in-time copy of every registered metric, for export/reporting.
 struct MetricsSnapshot {
   struct HistogramStats {
@@ -99,12 +144,23 @@ struct MetricsSnapshot {
     std::vector<std::pair<double, std::uint64_t>> buckets;
   };
 
+  struct WindowedStats {
+    std::uint64_t count = 0;        ///< samples in the retained windows
+    std::uint64_t total_count = 0;  ///< samples ever recorded
+    std::uint64_t rotations = 0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+  };
+
   std::map<std::string, std::uint64_t> counters;
   std::map<std::string, double> gauges;
   std::map<std::string, HistogramStats> histograms;
+  std::map<std::string, WindowedStats> windowed;
 
   bool empty() const noexcept {
-    return counters.empty() && gauges.empty() && histograms.empty();
+    return counters.empty() && gauges.empty() && histograms.empty() &&
+           windowed.empty();
   }
   std::uint64_t counter(std::string_view name,
                         std::uint64_t fallback = 0) const;
@@ -118,6 +174,12 @@ class MetricsRegistry {
   Counter& counter(std::string_view name);
   Gauge& gauge(std::string_view name);
   Histogram& histogram(std::string_view name);
+  WindowedHistogram& windowed(std::string_view name);
+
+  /// Advance every windowed histogram's ring by one window. Called by the
+  /// sink's owner on its metrics-window boundary (rare; takes the
+  /// registration mutex).
+  void rotate_windows();
 
   MetricsSnapshot snapshot() const;
 
@@ -131,6 +193,8 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::map<std::string, std::unique_ptr<WindowedHistogram>, std::less<>>
+      windowed_;
 };
 
 }  // namespace sprintcon::obs

@@ -12,22 +12,33 @@
 
 #include "obs/event_log.hpp"
 #include "obs/metrics_registry.hpp"
+#include "obs/trace.hpp"
 
 namespace sprintcon::obs {
 
 class ObsSink {
  public:
   explicit ObsSink(std::size_t event_capacity = 4096)
-      : events_(event_capacity) {}
+      : events_(event_capacity) {
+    // Ring overwrites surface as `events.dropped` in every snapshot.
+    events_.set_drop_counter(&metrics_.counter("events.dropped"));
+  }
 
   EventLog& events() noexcept { return events_; }
   const EventLog& events() const noexcept { return events_; }
   MetricsRegistry& metrics() noexcept { return metrics_; }
   const MetricsRegistry& metrics() const noexcept { return metrics_; }
 
+  /// Span tracing (optional, on top of the optional sink): attach the
+  /// owner's TraceBuffer and every span site reachable through this sink
+  /// goes live. Null = tracing off; span sites then cost one branch.
+  void set_trace(TraceBuffer* buffer) noexcept { trace_ = buffer; }
+  TraceBuffer* trace() const noexcept { return trace_; }
+
  private:
   EventLog events_;
   MetricsRegistry metrics_;
+  TraceBuffer* trace_ = nullptr;
 };
 
 /// RAII wall-time probe recording elapsed microseconds into a histogram.
@@ -35,14 +46,20 @@ class ObsSink {
 /// keeping disabled-mode cost to the construction branch.
 class ScopedTimer {
  public:
-  explicit ScopedTimer(Histogram* hist) noexcept : hist_(hist) {
+  /// @param hist     cumulative histogram (null = timer disabled)
+  /// @param windowed optional sliding-window twin fed the same sample
+  explicit ScopedTimer(Histogram* hist,
+                       WindowedHistogram* windowed = nullptr) noexcept
+      : hist_(hist), windowed_(windowed) {
     if (hist_ != nullptr) start_ = std::chrono::steady_clock::now();
   }
   ~ScopedTimer() {
     if (hist_ != nullptr) {
       const auto elapsed = std::chrono::steady_clock::now() - start_;
-      hist_->record(
-          std::chrono::duration<double, std::micro>(elapsed).count());
+      const double us =
+          std::chrono::duration<double, std::micro>(elapsed).count();
+      hist_->record(us);
+      if (windowed_ != nullptr) windowed_->record(us);
     }
   }
   ScopedTimer(const ScopedTimer&) = delete;
@@ -50,6 +67,7 @@ class ScopedTimer {
 
  private:
   Histogram* hist_;
+  WindowedHistogram* windowed_;
   std::chrono::steady_clock::time_point start_{};
 };
 

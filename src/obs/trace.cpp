@@ -1,0 +1,127 @@
+#include "obs/trace.hpp"
+
+#include <cstdio>
+#include <ostream>
+#include <string_view>
+#include <utility>
+
+#include "common/validation.hpp"
+
+namespace sprintcon::obs {
+
+TraceBuffer::TraceBuffer(std::uint32_t tid, std::string label,
+                         std::size_t capacity, Clock::time_point epoch)
+    : tid_(tid), label_(std::move(label)), capacity_(capacity), epoch_(epoch) {
+  SPRINTCON_EXPECTS(capacity >= 1, "trace buffer needs capacity >= 1");
+  events_.reserve(capacity);
+}
+
+void TraceBuffer::append(const char* name, const char* cat, char ph,
+                         const char* arg_key, double arg_value) noexcept {
+  if (events_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
+  TraceEvent e;
+  e.name = name;
+  e.cat = cat;
+  e.ts_us = std::chrono::duration<double, std::micro>(Clock::now() - epoch_)
+                .count();
+  e.ph = ph;
+  e.arg_key = arg_key;
+  e.arg_value = arg_value;
+  events_.push_back(e);
+}
+
+Tracer::Tracer(std::size_t buffer_capacity)
+    : epoch_(TraceBuffer::Clock::now()), buffer_capacity_(buffer_capacity) {
+  SPRINTCON_EXPECTS(buffer_capacity >= 1,
+                    "tracer needs buffer capacity >= 1");
+}
+
+TraceBuffer& Tracer::register_buffer(std::string label) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  buffers_.push_back(std::make_unique<TraceBuffer>(
+      static_cast<std::uint32_t>(buffers_.size()), std::move(label),
+      buffer_capacity_, epoch_));
+  return *buffers_.back();
+}
+
+std::size_t Tracer::num_buffers() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return buffers_.size();
+}
+
+std::uint64_t Tracer::total_events() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t n = 0;
+  for (const auto& b : buffers_) n += b->size();
+  return n;
+}
+
+std::uint64_t Tracer::total_dropped() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t n = 0;
+  for (const auto& b : buffers_) n += b->dropped();
+  return n;
+}
+
+namespace {
+
+void append_json_string(std::string& out, std::string_view s) {
+  out += '"';
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+}
+
+}  // namespace
+
+void Tracer::write_chrome_trace(std::ostream& out) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  std::string line;
+  char num[32];
+  for (const auto& b : buffers_) {
+    // Thread-name metadata record so Perfetto labels the track.
+    line.clear();
+    if (!first) line += ',';
+    first = false;
+    line += "\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":";
+    line += std::to_string(b->tid());
+    line += ",\"args\":{\"name\":";
+    append_json_string(line, b->label());
+    line += "}}";
+    out << line;
+    for (const TraceEvent& e : b->events()) {
+      line.clear();
+      line += ",\n{\"name\":";
+      append_json_string(line, e.name != nullptr ? e.name : "");
+      line += ",\"cat\":";
+      append_json_string(line, e.cat != nullptr ? e.cat : "");
+      line += ",\"ph\":\"";
+      line += e.ph;
+      line += "\",\"ts\":";
+      std::snprintf(num, sizeof(num), "%.3f", e.ts_us);
+      line += num;
+      line += ",\"pid\":0,\"tid\":";
+      line += std::to_string(b->tid());
+      if (e.arg_key != nullptr) {
+        line += ",\"args\":{";
+        append_json_string(line, e.arg_key);
+        line += ':';
+        std::snprintf(num, sizeof(num), "%.17g", e.arg_value);
+        line += num;
+        line += '}';
+      }
+      line += '}';
+      out << line;
+    }
+  }
+  out << "\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+}  // namespace sprintcon::obs

@@ -57,7 +57,9 @@ Facility::Facility(const FacilityConfig& config) : config_(config) {
   const auto rack_config = [&](std::size_t r) {
     RigConfig rack_cfg = config.rack;
     rack_cfg.seed = config.rack.seed + r;  // distinct workloads per rack
-    rack_cfg.observability = config.observability;
+    rack_cfg.observability =
+        config.observability || config.tracing || config.rack.observability;
+    rack_cfg.health = config.health || config.rack.health;
     if (config.staggered) {
       rack_cfg.sprint.schedule_offset_s =
           cycle * static_cast<double>(r) /
@@ -99,6 +101,23 @@ Facility::Facility(const FacilityConfig& config) : config_(config) {
     obs_ = std::make_unique<obs::ObsSink>();
     rack_run_us_ = &obs_->metrics().histogram("facility.rack_run_us");
   }
+
+  // Tracing: one buffer per rack for the decision-path spans (attached to
+  // the rig's sink, appended by whichever single worker owns the rig) and
+  // one per worker shard for the runtime spans. All buffers share the
+  // tracer's epoch so the merged timeline lines up in Perfetto.
+  if (config.tracing) {
+    tracer_ = std::make_unique<obs::Tracer>(config.trace_capacity);
+    for (std::size_t r = 0; r < rigs_.size(); ++r) {
+      rigs_[r]->obs()->set_trace(
+          &tracer_->register_buffer("rack " + std::to_string(r)));
+    }
+    shard_buffers_.reserve(num_workers_);
+    for (std::size_t w = 0; w < num_workers_; ++w) {
+      shard_buffers_.push_back(
+          &tracer_->register_buffer("shard " + std::to_string(w)));
+    }
+  }
 }
 
 void Facility::run() {
@@ -114,11 +133,17 @@ void Facility::run() {
   // touched once per rig at the end (it is atomic-safe regardless).
   std::vector<double> rig_run_s(rigs_.size(), 0.0);
   const auto advance_shard = [&](std::size_t w, std::size_t e) {
+    obs::TraceBuffer* const tb =
+        w < shard_buffers_.size() ? shard_buffers_[w] : nullptr;
+    const obs::ScopedSpan shard_span(tb, "shard_epoch", "facility", "epoch",
+                                     static_cast<double>(e));
     const auto [first, last] = shard_range(w);
     const double t_epoch = std::min(
         config_.epoch_s * static_cast<double>(e + 1), duration);
     const bool final_epoch = e + 1 == num_epochs;
     for (std::size_t r = first; r < last; ++r) {
+      const obs::ScopedSpan rig_span(tb, "rig_batch", "facility", "rig",
+                                     static_cast<double>(r));
       const auto t0 = std::chrono::steady_clock::now();
       if (final_epoch) {
         rigs_[r]->run();
@@ -159,6 +184,8 @@ void Facility::run() {
     workers.reserve(num_workers_);
     for (std::size_t w = 0; w < num_workers_; ++w) {
       workers.emplace_back([&, w] {
+        obs::TraceBuffer* const tb =
+            w < shard_buffers_.size() ? shard_buffers_[w] : nullptr;
         bool failed = false;
         for (std::size_t e = 0; e < num_epochs; ++e) {
           if (!failed) {
@@ -169,6 +196,10 @@ void Facility::run() {
               failed = true;  // keep arriving so peers don't deadlock
             }
           }
+          // Barrier wait is the shard-imbalance signal: a worker whose
+          // epoch_barrier span dwarfs its shard_epoch span is starved.
+          const obs::ScopedSpan wait_span(tb, "epoch_barrier", "facility",
+                                          "epoch", static_cast<double>(e));
           barrier.arrive_and_wait();
         }
       });

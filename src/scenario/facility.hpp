@@ -53,6 +53,17 @@ struct FacilityConfig {
   /// plus a facility-level sink aggregating rack run times and shard
   /// statistics; exported through reports().
   bool observability = false;
+  /// Span tracing (implies observability): builds a Tracer with one
+  /// TraceBuffer per rack (decision-path spans: allocator_epoch,
+  /// bid_collect, mpc_solve, dvfs_actuate, power_outcome) and one per
+  /// worker shard (shard_epoch / rig_batch / epoch_barrier spans), merged
+  /// by tracer()->write_chrome_trace() into Perfetto-loadable JSON.
+  bool tracing = false;
+  /// Events retained per trace buffer; overflow drops and counts
+  /// (Tracer::total_dropped()), never reallocates mid-run.
+  std::size_t trace_capacity = std::size_t{1} << 14;
+  /// Forwarded to every rack: enable the per-rig HealthMonitor.
+  bool health = false;
 
   void validate() const;
 };
@@ -90,6 +101,11 @@ class Facility {
   /// null unless config.observability is set.
   const obs::ObsSink* obs() const noexcept { return obs_.get(); }
 
+  /// Span tracer; null unless config.tracing is set. Export with
+  /// write_chrome_trace() after run() returns (never concurrently).
+  obs::Tracer* tracer() noexcept { return tracer_.get(); }
+  const obs::Tracer* tracer() const noexcept { return tracer_.get(); }
+
  private:
   TimeSeries sum_channel(const char* channel, const char* name) const;
   /// Rig index range [first, last) owned by worker `w`.
@@ -99,6 +115,9 @@ class Facility {
   std::size_t num_workers_ = 1;
   std::vector<std::unique_ptr<Rig>> rigs_;
   std::unique_ptr<obs::ObsSink> obs_;
+  std::unique_ptr<obs::Tracer> tracer_;
+  /// Per-worker shard buffers, indexed by worker id (wired before run()).
+  std::vector<obs::TraceBuffer*> shard_buffers_;
   obs::Histogram* rack_run_us_ = nullptr;
   bool ran_ = false;
 };

@@ -1,6 +1,7 @@
 #include "scenario/rig.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/validation.hpp"
 #include "fault/injector.hpp"
@@ -31,6 +32,8 @@ void RigConfig::validate() const {
   SPRINTCON_EXPECTS(batch_deadline_s > 0.0, "deadline must be positive");
   SPRINTCON_EXPECTS(batch_work_scale > 0.0, "work scale must be positive");
   SPRINTCON_EXPECTS(ups_capacity_wh > 0.0, "UPS capacity must be positive");
+  SPRINTCON_EXPECTS(health_period_s > 0.0, "health period must be positive");
+  SPRINTCON_EXPECTS(metrics_window_s > 0.0, "metric window must be positive");
   sprint.validate();
   faults.validate();
 }
@@ -161,11 +164,82 @@ Rig::Rig(const RigConfig& config) : config_(config) {
   }
 
   // --- observability ----------------------------------------------------------
-  if (config.observability) {
+  if (config.observability || config.health) {
     obs_ = std::make_unique<obs::ObsSink>();
     path_->breaker().set_obs(obs_.get());
     if (sprintcon_) sprintcon_->set_obs(obs_.get());
     if (injector_) injector_->set_obs(obs_.get());
+
+    // Tick wall-time profiling: cumulative + sliding-window percentiles.
+    sim_->set_tick_obs(&obs_->metrics().histogram("sim.tick_us"),
+                       &obs_->metrics().windowed("sim.tick_us.window"));
+
+    // Per-tick derived health gauges + periodic window rotation. Runs
+    // after the actuator stage, so "realized" frequencies include any
+    // injected actuation fault — exactly what a real monitor would see.
+    sim_->add_post_tick_hook([this](const sim::SimClock& clock) {
+      auto& m = obs_->metrics();
+      if (!queues_.empty()) {
+        double t = 0.0;
+        for (const auto* q : queues_) t += q->response_time_s();
+        m.windowed("queue.response_ms.window")
+            .record(t / static_cast<double>(queues_.size()) * 1000.0);
+      }
+      const double cmd = m.gauge("control.cmd_batch_freq").value();
+      if (cmd > 0.0) {
+        double sum = 0.0;
+        const auto& refs = rack_->batch_cores();
+        for (const auto& ref : refs) sum += rack_->core(ref).freq();
+        const double realized =
+            refs.empty() ? 0.0 : sum / static_cast<double>(refs.size());
+        m.gauge("rig.batch_freq").set(realized);
+        m.gauge("rig.dvfs_divergence").set(std::abs(realized - cmd));
+      }
+      m.gauge("rig.battery_capacity_wh").set(path_->battery().capacity_wh());
+      if (clock.every(config_.metrics_window_s)) m.rotate_windows();
+    });
+  }
+
+  // --- health monitoring ------------------------------------------------------
+  if (config.health) {
+    health_ = std::make_unique<obs::HealthMonitor>(obs_.get());
+    // Default rule set (thresholds discussed in DESIGN.md §8.5). Every
+    // rule is quiet on a healthy rig by construction: divergence signals
+    // are exactly zero without a fault, capacity only moves when fade is
+    // injected, and the stuck rule needs the reference to move while the
+    // signal does not — impossible while they are the same number.
+    const double nominal_wh = path_->battery().capacity_wh();
+    health_->add_rule({.name = "meter-divergence",
+                       .kind = obs::HealthRuleKind::kAbove,
+                       .signal = obs::HealthSignal::kGauge,
+                       .metric = "control.meter_residual_w",
+                       .threshold = 25.0});
+    health_->add_rule({.name = "meter-stuck",
+                       .kind = obs::HealthRuleKind::kStuck,
+                       .signal = obs::HealthSignal::kGauge,
+                       .metric = "control.p_meas_w",
+                       .reference = "control.p_total_w",
+                       .threshold = 0.5});
+    health_->add_rule({.name = "dvfs-divergence",
+                       .kind = obs::HealthRuleKind::kAbove,
+                       .signal = obs::HealthSignal::kGauge,
+                       .metric = "rig.dvfs_divergence",
+                       .threshold = 0.02});
+    health_->add_rule({.name = "ups-capacity-fade",
+                       .kind = obs::HealthRuleKind::kBelow,
+                       .signal = obs::HealthSignal::kGauge,
+                       .metric = "rig.battery_capacity_wh",
+                       .threshold = 0.9 * nominal_wh});
+    health_->add_rule({.name = "latency-slo",
+                       .kind = obs::HealthRuleKind::kAbove,
+                       .signal = obs::HealthSignal::kWindowedP99,
+                       .metric = "queue.response_ms.window",
+                       .threshold = 500.0});
+    sim_->add_post_tick_hook([this](const sim::SimClock& clock) {
+      if (clock.every(config_.health_period_s)) {
+        health_->check(clock.now_s());
+      }
+    });
   }
 
   // --- probes ------------------------------------------------------------------
@@ -307,6 +381,7 @@ obs::RunReport Rig::report() const {
   out.summary = summary();
   out.metrics = obs_->metrics().snapshot();
   out.events = obs_->events().snapshot();
+  out.dropped_count = obs_->events().dropped();
   return out;
 }
 

@@ -22,6 +22,7 @@
 #include "fault/fault.hpp"
 #include "metrics/summary.hpp"
 #include "obs/export.hpp"
+#include "obs/health.hpp"
 #include "obs/sink.hpp"
 #include "power/hybrid_store.hpp"
 #include "power/power_path.hpp"
@@ -102,6 +103,17 @@ struct RigConfig {
   /// exported through report(). Off by default — the sink costs one
   /// branch per emit site when absent.
   bool observability = false;
+  /// SLO-grade health monitoring (implies observability): a HealthMonitor
+  /// with the default rule set (DESIGN.md §8.5) runs every
+  /// health_period_s of sim time and emits health_degraded /
+  /// health_recovered events. Reads metrics, writes events — never
+  /// touches physics, so recorded traces stay bit-identical.
+  bool health = false;
+  double health_period_s = 5.0;
+  /// Sliding-window metrics (mpc.step_us.window, sim.tick_us.window,
+  /// queue.response_ms.window) rotate every metrics_window_s of sim time;
+  /// quantiles cover the last kWindows such spans.
+  double metrics_window_s = 60.0;
 
   RigConfig();
   void validate() const;
@@ -136,9 +148,13 @@ class Rig {
   /// Metrics over everything recorded so far.
   metrics::RunSummary summary() const;
 
-  /// Observability sink; null unless config.observability is set.
+  /// Observability sink; null unless config.observability (or health) set.
   obs::ObsSink* obs() noexcept { return obs_.get(); }
   const obs::ObsSink* obs() const noexcept { return obs_.get(); }
+
+  /// Health monitor; null unless config.health is set. Tests may add
+  /// scenario-specific rules before run().
+  obs::HealthMonitor* health() noexcept { return health_.get(); }
 
   /// Full structured report: summary + metrics snapshot + event timeline.
   /// Requires config.observability (throws InvalidStateError otherwise).
@@ -163,6 +179,7 @@ class Rig {
   std::unique_ptr<baselines::PowerCapController> cap_;
   std::vector<const workload::RequestQueueSource*> queues_;
   std::unique_ptr<obs::ObsSink> obs_;
+  std::unique_ptr<obs::HealthMonitor> health_;
   bool ran_ = false;
 };
 

@@ -1,6 +1,7 @@
 #include "sim/simulation.hpp"
 
 #include "common/validation.hpp"
+#include "obs/sink.hpp"
 
 namespace sprintcon::sim {
 
@@ -16,6 +17,7 @@ void Simulation::add_post_tick_hook(std::function<void(const SimClock&)> hook) {
 }
 
 void Simulation::step_once() {
+  const obs::ScopedTimer timer(tick_hist_, tick_window_);
   for (Component* c : components_) c->step(clock_);
   clock_.advance();
   recorder_.sample();

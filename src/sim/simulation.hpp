@@ -8,6 +8,11 @@
 #include "sim/component.hpp"
 #include "sim/recorder.hpp"
 
+namespace sprintcon::obs {
+class Histogram;
+class WindowedHistogram;
+}  // namespace sprintcon::obs
+
 namespace sprintcon::sim {
 
 /// Drives registered components with a fixed-step clock and records probes.
@@ -31,6 +36,15 @@ class Simulation {
   /// checks or assertions in tests).
   void add_post_tick_hook(std::function<void(const SimClock&)> hook);
 
+  /// Attach wall-time tick profiling: every step_once() records its
+  /// duration (µs) into `hist` and, if given, the sliding-window twin.
+  /// Null detaches; detached ticks cost one branch.
+  void set_tick_obs(obs::Histogram* hist,
+                    obs::WindowedHistogram* windowed = nullptr) noexcept {
+    tick_hist_ = hist;
+    tick_window_ = windowed;
+  }
+
   /// Advance exactly one tick: step components in order, advance the
   /// clock, sample the recorder.
   void step_once();
@@ -43,6 +57,8 @@ class Simulation {
   TraceRecorder recorder_;
   std::vector<Component*> components_;
   std::vector<std::function<void(const SimClock&)>> hooks_;
+  obs::Histogram* tick_hist_ = nullptr;
+  obs::WindowedHistogram* tick_window_ = nullptr;
 };
 
 }  // namespace sprintcon::sim

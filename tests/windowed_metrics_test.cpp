@@ -1,0 +1,197 @@
+// Property tests for the sliding-window percentile histograms: on random
+// streams from several distributions, the windowed p50/p95/p99 must land
+// within one base-2 log-scale bucket of the exact order statistic (the
+// accuracy contract in metrics_registry.hpp), and the rotation ring must
+// drop old samples exactly when its slots are reused.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <functional>
+#include <random>
+#include <vector>
+
+#include "obs/metrics_registry.hpp"
+
+namespace sprintcon::obs {
+namespace {
+
+/// Exact p-quantile by the same nearest-rank convention the histogram
+/// uses: the ceil(p * n)-th smallest sample (1-based), clamped to [1, n].
+double exact_percentile(std::vector<double> samples, double p) {
+  std::sort(samples.begin(), samples.end());
+  const auto n = samples.size();
+  auto rank = static_cast<std::size_t>(
+      std::ceil(p * static_cast<double>(n)));
+  rank = std::min(std::max<std::size_t>(rank, 1), n);
+  return samples[rank - 1];
+}
+
+void expect_within_one_bucket(const WindowedHistogram& hist,
+                              const std::vector<double>& samples, double p,
+                              const char* what) {
+  const double got = hist.percentile(p);
+  const double exact = exact_percentile(samples, p);
+  const int got_bucket = Histogram::bucket_index(got);
+  const int exact_bucket = Histogram::bucket_index(exact);
+  EXPECT_LE(std::abs(got_bucket - exact_bucket), 1)
+      << what << ": p=" << p << " windowed=" << got << " (bucket "
+      << got_bucket << ") exact=" << exact << " (bucket " << exact_bucket
+      << ") over " << samples.size() << " samples";
+}
+
+TEST(WindowedHistogram, PercentilesTrackExactOrderStatistics) {
+  std::mt19937 rng(20260808);
+  struct Case {
+    const char* name;
+    std::function<double(std::mt19937&)> draw;
+  };
+  std::uniform_real_distribution<double> uniform(1.0, 1000.0);
+  std::lognormal_distribution<double> lognormal(3.0, 1.5);
+  std::exponential_distribution<double> exponential(0.01);
+  std::uniform_real_distribution<double> tiny(1e-5, 1e-2);
+  const Case cases[] = {
+      {"uniform[1,1000]", [&](std::mt19937& g) { return uniform(g); }},
+      {"lognormal(3,1.5)", [&](std::mt19937& g) { return lognormal(g); }},
+      {"exponential(0.01)",
+       [&](std::mt19937& g) { return exponential(g) + 1e-9; }},
+      {"uniform[1e-5,1e-2]", [&](std::mt19937& g) { return tiny(g); }},
+  };
+
+  for (const Case& c : cases) {
+    for (const std::size_t n : {16u, 257u, 5000u}) {
+      WindowedHistogram hist;
+      std::vector<double> samples;
+      samples.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        const double v = c.draw(rng);
+        samples.push_back(v);
+        hist.record(v);
+      }
+      for (const double p : {0.5, 0.95, 0.99}) {
+        expect_within_one_bucket(hist, samples, p, c.name);
+      }
+    }
+  }
+}
+
+TEST(WindowedHistogram, PercentilesSurviveMidStreamRotations) {
+  // Same contract while the ring rotates: as long as no slot has been
+  // reused, every recorded sample is still retained, so the quantiles
+  // must still match the full stream.
+  std::mt19937 rng(42);
+  std::lognormal_distribution<double> lognormal(2.0, 1.0);
+  WindowedHistogram hist;
+  std::vector<double> samples;
+  for (int w = 0; w < WindowedHistogram::kWindows; ++w) {
+    if (w > 0) hist.rotate();
+    for (int i = 0; i < 400; ++i) {
+      const double v = lognormal(rng);
+      samples.push_back(v);
+      hist.record(v);
+    }
+  }
+  EXPECT_EQ(hist.count(), samples.size());
+  EXPECT_EQ(hist.rotations(),
+            static_cast<std::uint64_t>(WindowedHistogram::kWindows - 1));
+  for (const double p : {0.5, 0.95, 0.99}) {
+    expect_within_one_bucket(hist, samples, p, "rotating lognormal");
+  }
+}
+
+TEST(WindowedHistogram, EmptyAndSingleSampleEdgeCases) {
+  WindowedHistogram hist;
+  EXPECT_EQ(hist.count(), 0u);
+  EXPECT_EQ(hist.total_count(), 0u);
+  EXPECT_DOUBLE_EQ(hist.percentile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(hist.percentile(0.99), 0.0);
+
+  hist.record(37.5);
+  EXPECT_EQ(hist.count(), 1u);
+  for (const double p : {0.0, 0.5, 0.99, 1.0}) {
+    expect_within_one_bucket(hist, {37.5}, p, "single sample");
+  }
+
+  // Rotating an empty current window is harmless.
+  WindowedHistogram empty;
+  empty.rotate();
+  empty.rotate();
+  EXPECT_DOUBLE_EQ(empty.percentile(0.95), 0.0);
+  EXPECT_EQ(empty.count(), 0u);
+  EXPECT_EQ(empty.rotations(), 2u);
+}
+
+TEST(WindowedHistogram, FullRotationCycleDropsOldSamples) {
+  // Fill the current window with a huge spike population, then rotate
+  // kWindows times recording small values: every slot gets reused, so
+  // the spike must vanish from the quantile view while total_count still
+  // remembers it.
+  WindowedHistogram hist;
+  for (int i = 0; i < 1000; ++i) hist.record(1e6);
+  EXPECT_GT(hist.percentile(0.99), 1e5);
+
+  std::vector<double> recent;
+  for (int w = 0; w < WindowedHistogram::kWindows; ++w) {
+    hist.rotate();
+    for (int i = 0; i < 50; ++i) {
+      hist.record(2.0);
+      recent.push_back(2.0);
+    }
+  }
+  EXPECT_EQ(hist.count(), recent.size());
+  EXPECT_EQ(hist.total_count(), 1000u + recent.size());
+  for (const double p : {0.5, 0.95, 0.99}) {
+    expect_within_one_bucket(hist, recent, p, "post-rotation");
+    EXPECT_LT(hist.percentile(p), 100.0) << "old spike leaked into p=" << p;
+  }
+}
+
+TEST(WindowedHistogram, PartialRotationRetainsRecentDropsAncient) {
+  // One rotation short of a full cycle: the first window is the *next*
+  // to be cleared but is still retained, so the quantile population is
+  // everything recorded so far.
+  WindowedHistogram hist;
+  std::vector<double> all;
+  for (int i = 0; i < 100; ++i) {
+    hist.record(1000.0);
+    all.push_back(1000.0);
+  }
+  for (int w = 0; w < WindowedHistogram::kWindows - 1; ++w) {
+    hist.rotate();
+    for (int i = 0; i < 100; ++i) {
+      hist.record(1.0);
+      all.push_back(1.0);
+    }
+  }
+  EXPECT_EQ(hist.count(), all.size());
+  expect_within_one_bucket(hist, all, 0.95, "one-short cycle");
+  // The old population is 1/kWindows of the total, above p = 1 - 1/8.
+  EXPECT_GT(hist.percentile(0.95), 100.0);
+
+  // One more rotation reuses the spike's slot: it is gone.
+  hist.rotate();
+  EXPECT_LT(hist.percentile(0.95), 100.0);
+}
+
+TEST(MetricsRegistry, RotateWindowsAdvancesEveryWindowedHistogram) {
+  MetricsRegistry registry;
+  WindowedHistogram& a = registry.windowed("a");
+  WindowedHistogram& b = registry.windowed("b");
+  a.record(1.0);
+  registry.rotate_windows();
+  registry.rotate_windows();
+  EXPECT_EQ(a.rotations(), 2u);
+  EXPECT_EQ(b.rotations(), 2u);
+  EXPECT_EQ(a.count(), 1u);  // retained until the ring wraps
+
+  const MetricsSnapshot snap = registry.snapshot();
+  const auto it = snap.windowed.find("a");
+  ASSERT_NE(it, snap.windowed.end());
+  EXPECT_EQ(it->second.count, 1u);
+  EXPECT_EQ(it->second.total_count, 1u);
+  EXPECT_EQ(it->second.rotations, 2u);
+}
+
+}  // namespace
+}  // namespace sprintcon::obs
