@@ -7,11 +7,18 @@
 //
 //   ./build/examples/facility_dashboard [num_racks] [--json FILE]
 //                                       [--faults PLAN] [--trace FILE]
+//                                       [--health] [--recovery]
 //
 // `--faults PLAN` loads a fault plan (see src/fault/fault.hpp for the
 // format) and injects it into every rack — the dashboard then shows how
 // the floor degrades (and recovers) under meter, actuator, UPS, breaker
 // or utility faults.
+//
+// `--health` turns on the per-rack HealthMonitor (DESIGN.md §8.5) and
+// prints an active-alert summary; `--recovery` (implies --health) closes
+// the loop with the recovery engine (DESIGN.md §10) and reports the
+// remediation actions, incidents resolved, MTTR and any rack the ladder
+// had to quarantine. Both views also land in the `--json` export.
 //
 // `--trace FILE` records the decision-path and shard-runtime spans and
 // writes them as Chrome trace-event JSON: open FILE in
@@ -27,6 +34,8 @@
 #include "common/table.hpp"
 #include "fault/fault.hpp"
 #include "obs/export.hpp"
+#include "obs/health.hpp"
+#include "recovery/recovery.hpp"
 #include "scenario/facility.hpp"
 
 #ifndef SPRINTCON_GIT_COMMIT
@@ -38,10 +47,42 @@
 
 namespace {
 
+/// {"alerts":N,"degraded":[...]} for one rack's health monitor.
+std::string health_json(const sprintcon::obs::HealthMonitor& health) {
+  std::string out = "{\"active_alerts\":" + std::to_string(
+                        health.active_alerts());
+  out += ",\"degraded\":[";
+  bool first = true;
+  for (const char* rule : health.degraded_rules()) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += rule;
+    out += '"';
+  }
+  out += "]}";
+  return out;
+}
+
+/// {"actions":N,"incidents_resolved":N,...} for one rack's engine.
+std::string recovery_json(const sprintcon::recovery::RecoveryManager& rec) {
+  std::string out =
+      "{\"actions\":" + std::to_string(rec.actions_taken());
+  out += ",\"incidents_resolved\":" + std::to_string(rec.incidents_resolved());
+  out += ",\"active_incidents\":" + std::to_string(rec.active_incidents());
+  out += std::string(",\"quarantined\":") +
+         (rec.quarantined() ? "true" : "false");
+  out += ",\"last_mttr_s\":" + std::to_string(rec.last_mttr_s());
+  out += "}";
+  return out;
+}
+
 /// {"context":{...},"facility":{"metrics":...},"racks":[<report>,...]}.
 /// The context block records build provenance (git commit, build type)
-/// and run shape so an archived report is self-describing.
-std::string facility_json(const sprintcon::scenario::Facility& facility,
+/// and run shape so an archived report is self-describing. With --health
+/// or --recovery each rack report is wrapped with the matching summary
+/// block ({"report":...,"health":...,"recovery":...}).
+std::string facility_json(sprintcon::scenario::Facility& facility,
                           const std::vector<sprintcon::obs::RunReport>& racks) {
   std::string out = "{\"context\":{\"git_commit\":\"" SPRINTCON_GIT_COMMIT
                     "\",\"build_type\":\"" SPRINTCON_BUILD_TYPE "\"";
@@ -51,12 +92,39 @@ std::string facility_json(const sprintcon::scenario::Facility& facility,
          std::to_string(facility.rig(0).config().duration_s);
   out += "},\"facility\":{\"metrics\":";
   out += sprintcon::obs::metrics_to_json(facility.obs()->metrics().snapshot());
+  if (facility.rig(0).recovery() != nullptr) {
+    out += ",\"quarantined_racks\":[";
+    bool first = true;
+    for (const std::size_t r : facility.quarantined_racks()) {
+      if (!first) out += ',';
+      first = false;
+      out += std::to_string(r);
+    }
+    out += "]";
+  }
   out += "},\"racks\":[";
   for (std::size_t r = 0; r < racks.size(); ++r) {
     if (r > 0) out += ',';
     out += racks[r].to_json();
   }
-  out += "]}";
+  out += "]";
+  if (facility.rig(0).health() != nullptr) {
+    out += ",\"health\":[";
+    for (std::size_t r = 0; r < facility.num_racks(); ++r) {
+      if (r > 0) out += ',';
+      out += health_json(*facility.rig(r).health());
+    }
+    out += "]";
+  }
+  if (facility.rig(0).recovery() != nullptr) {
+    out += ",\"recovery\":[";
+    for (std::size_t r = 0; r < facility.num_racks(); ++r) {
+      if (r > 0) out += ',';
+      out += recovery_json(*facility.rig(r).recovery());
+    }
+    out += "]";
+  }
+  out += "}";
   return out;
 }
 
@@ -70,6 +138,8 @@ int main(int argc, char** argv) {
   std::string faults_path;
   std::string trace_path;
   std::size_t threads = 0;  // 0 = one worker per hardware thread
+  bool health = false;
+  bool recovery = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--json" && i + 1 < argc) {
@@ -80,13 +150,18 @@ int main(int argc, char** argv) {
       trace_path = argv[++i];
     } else if (arg == "--threads" && i + 1 < argc) {
       threads = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (arg == "--health") {
+      health = true;
+    } else if (arg == "--recovery") {
+      recovery = true;
     } else {
       racks = static_cast<std::size_t>(std::atoi(arg.c_str()));
     }
   }
   if (racks == 0 || racks > 16) {
     std::cerr << "usage: facility_dashboard [1..16 racks] [--json FILE]"
-                 " [--faults PLAN] [--trace FILE] [--threads N]\n";
+                 " [--faults PLAN] [--trace FILE] [--threads N]"
+                 " [--health] [--recovery]\n";
     return 1;
   }
 
@@ -96,6 +171,8 @@ int main(int argc, char** argv) {
   config.observability = true;
   config.tracing = !trace_path.empty();
   config.run_threads = threads;
+  config.rack.health = health;
+  config.recovery = recovery;
   if (!faults_path.empty()) {
     try {
       config.rack.faults = fault::FaultPlan::load(faults_path);
@@ -165,6 +242,42 @@ int main(int argc, char** argv) {
                   << "s " << obs::to_string(e.type) << " "
                   << (e.cause != nullptr ? e.cause : "?") << "\n";
       }
+    }
+  }
+
+  // Active alerts (health monitor) and remediation (recovery engine).
+  if (health || recovery) {
+    std::cout << "\nhealth (active alerts at run end):\n";
+    for (std::size_t r = 0; r < facility.num_racks(); ++r) {
+      const obs::HealthMonitor* mon = facility.rig(r).health();
+      std::cout << "  rack " << r << ": " << mon->active_alerts()
+                << " active";
+      for (const char* rule : mon->degraded_rules()) {
+        std::cout << " [" << rule << "]";
+      }
+      std::cout << "\n";
+    }
+  }
+  if (recovery) {
+    std::cout << "\nrecovery (engine actions over the run):\n";
+    for (std::size_t r = 0; r < facility.num_racks(); ++r) {
+      const recovery::RecoveryManager* rec = facility.rig(r).recovery();
+      std::cout << "  rack " << r << ": " << rec->actions_taken()
+                << " actions, " << rec->incidents_resolved()
+                << " incidents resolved, " << rec->active_incidents()
+                << " open";
+      if (rec->last_mttr_s() >= 0.0) {
+        std::cout << ", last MTTR " << format_fixed(rec->last_mttr_s(), 0)
+                  << " s";
+      }
+      if (rec->quarantined()) std::cout << ", QUARANTINED";
+      std::cout << "\n";
+    }
+    const std::vector<std::size_t> quarantined = facility.quarantined_racks();
+    if (!quarantined.empty()) {
+      std::cout << "  quarantined racks:";
+      for (const std::size_t r : quarantined) std::cout << " " << r;
+      std::cout << " (interactive load re-routed to survivors)\n";
     }
   }
 

@@ -5,11 +5,14 @@ Runs build/examples/facility_dashboard with --json, parses the export and
 validates that the observability layer actually captured what the
 acceptance criteria demand: per-rack reports with summary/metrics/events,
 MPC solver counters that moved, and allocator + UPS events in the
-timeline. Exits non-zero (with a reason) on the first violation.
+timeline. A second pass re-runs the dashboard with --recovery and a
+scripted fault plan and validates the health/recovery summary blocks
+(active alerts, remediation actions, incidents resolved, MTTR). Exits
+non-zero (with a reason) on the first violation.
 
 Usage:
     scripts/report_check.py [--dashboard build/examples/facility_dashboard]
-                            [--racks 3] [--keep FILE]
+                            [--racks 3] [--keep FILE] [--skip-recovery]
 """
 
 import argparse
@@ -65,6 +68,70 @@ def check_rack(i: int, rack: dict) -> None:
         fail(f"rack {i}: event sequence numbers not monotone")
 
 
+FAULT_PLAN = """\
+dvfs_stuck start=120 duration=300
+meter_dropout start=200 duration=250
+"""
+
+
+def run_dashboard(dashboard: pathlib.Path, racks: int,
+                  extra: list, keep: pathlib.Path = None) -> dict:
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+        out_path = pathlib.Path(tmp.name)
+    try:
+        subprocess.run(
+            [str(dashboard), str(racks), "--json", str(out_path)] + extra,
+            check=True, capture_output=True, text=True)
+        return json.loads(out_path.read_text())
+    except subprocess.CalledProcessError as exc:
+        fail(f"dashboard exited {exc.returncode}: {exc.stderr.strip()}")
+    except json.JSONDecodeError as exc:
+        fail(f"export is not valid JSON: {exc}")
+    finally:
+        if keep is not None:
+            keep.write_bytes(out_path.read_bytes())
+        out_path.unlink(missing_ok=True)
+
+
+def check_recovery_export(doc: dict, racks: int) -> None:
+    """Validate the --recovery health/recovery summary blocks."""
+    for key in ("health", "recovery"):
+        block = doc.get(key)
+        if not isinstance(block, list) or len(block) != racks:
+            fail(f"--recovery export: '{key}' must list all {racks} racks")
+    for i, h in enumerate(doc["health"]):
+        if not isinstance(h.get("active_alerts"), int) or h["active_alerts"] < 0:
+            fail(f"rack {i}: health.active_alerts must be a non-negative int")
+        if not isinstance(h.get("degraded"), list):
+            fail(f"rack {i}: health.degraded must be a list")
+        if len(h["degraded"]) != h["active_alerts"]:
+            fail(f"rack {i}: degraded list length != active_alerts")
+    total_actions = 0
+    total_resolved = 0
+    for i, r in enumerate(doc["recovery"]):
+        for key in ("actions", "incidents_resolved", "active_incidents",
+                    "quarantined", "last_mttr_s"):
+            if key not in r:
+                fail(f"rack {i}: recovery summary missing '{key}'")
+        total_actions += r["actions"]
+        total_resolved += r["incidents_resolved"]
+        if r["incidents_resolved"] > 0 and r["last_mttr_s"] < 0:
+            fail(f"rack {i}: incidents resolved but last_mttr_s unset")
+    if total_actions <= 0:
+        fail("recovery engine took no actions against the scripted faults")
+    if total_resolved <= 0:
+        fail("recovery engine resolved no incidents")
+    quarantined = doc.get("facility", {}).get("quarantined_racks")
+    if not isinstance(quarantined, list):
+        fail("--recovery export: facility.quarantined_racks missing")
+    # Each rack's own metric registry must agree with its summary block.
+    for i, (rack, rec) in enumerate(zip(doc.get("racks", []),
+                                        doc["recovery"])):
+        counters = rack["metrics"].get("counters", {})
+        if counters.get("recovery.actions", 0) != rec["actions"]:
+            fail(f"rack {i}: recovery.actions counter disagrees with summary")
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--dashboard",
@@ -73,27 +140,15 @@ def main() -> int:
     parser.add_argument("--racks", type=int, default=3)
     parser.add_argument("--keep", type=pathlib.Path, default=None,
                         help="also write the raw JSON export here")
+    parser.add_argument("--skip-recovery", action="store_true",
+                        help="skip the --recovery fault-plan pass")
     args = parser.parse_args()
 
     if not args.dashboard.exists():
         fail(f"dashboard binary not found at {args.dashboard} "
              "(build with -DSPRINTCON_BUILD_EXAMPLES=ON)")
 
-    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
-        out_path = pathlib.Path(tmp.name)
-    try:
-        subprocess.run(
-            [str(args.dashboard), str(args.racks), "--json", str(out_path)],
-            check=True, capture_output=True, text=True)
-        doc = json.loads(out_path.read_text())
-    except subprocess.CalledProcessError as exc:
-        fail(f"dashboard exited {exc.returncode}: {exc.stderr.strip()}")
-    except json.JSONDecodeError as exc:
-        fail(f"export is not valid JSON: {exc}")
-    finally:
-        if args.keep is not None:
-            args.keep.write_bytes(out_path.read_bytes())
-        out_path.unlink(missing_ok=True)
+    doc = run_dashboard(args.dashboard, args.racks, [], keep=args.keep)
 
     context = doc.get("context")
     if not isinstance(context, dict):
@@ -119,10 +174,31 @@ def main() -> int:
     for i, rack in enumerate(racks):
         check_rack(i, rack)
 
+    for key in ("health", "recovery"):
+        if key in doc:
+            fail(f"default run must not export a '{key}' block")
+
     total_events = sum(len(r["events"]) for r in racks)
     print(f"report_check: OK — {len(racks)} racks, {total_events} events, "
           f"{sum(r['metrics']['counters'].get('mpc.solves.structured', 0) for r in racks)} "
           "structured MPC solves")
+
+    if not args.skip_recovery:
+        with tempfile.NamedTemporaryFile(mode="w", suffix=".plan",
+                                         delete=False) as tmp:
+            tmp.write(FAULT_PLAN)
+            plan_path = pathlib.Path(tmp.name)
+        try:
+            rec_doc = run_dashboard(
+                args.dashboard, args.racks,
+                ["--recovery", "--faults", str(plan_path)])
+        finally:
+            plan_path.unlink(missing_ok=True)
+        check_recovery_export(rec_doc, args.racks)
+        total = sum(r["actions"] for r in rec_doc["recovery"])
+        resolved = sum(r["incidents_resolved"] for r in rec_doc["recovery"])
+        print(f"report_check: OK — recovery pass: {total} actions, "
+              f"{resolved} incidents resolved across {args.racks} racks")
     return 0
 
 

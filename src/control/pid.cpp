@@ -12,6 +12,12 @@ PiController::PiController(const PidConfig& config) : config_(config) {
   SPRINTCON_EXPECTS(config.anti_windup >= 0.0, "anti-windup must be >= 0");
 }
 
+void PiController::preload_output(double u) noexcept {
+  if (config_.ki == 0.0) return;
+  integral_ =
+      std::clamp(u, config_.output_min, config_.output_max) / config_.ki;
+}
+
 double PiController::step(double setpoint, double measurement, double dt_s) {
   SPRINTCON_EXPECTS(dt_s > 0.0, "control period must be positive");
   const double error = setpoint - measurement;

@@ -29,6 +29,11 @@ class PiController {
   void reset() noexcept { integral_ = 0.0; }
   double integral() const noexcept { return integral_; }
 
+  /// Seed the integrator so that, at zero error, step() reproduces
+  /// output `u` — bumpless transfer when this loop takes over from
+  /// another controller mid-run. No-op when ki is 0 (no integrator).
+  void preload_output(double u) noexcept;
+
  private:
   PidConfig config_;
   double integral_ = 0.0;

@@ -97,6 +97,11 @@ void ServerPowerController::update(double p_total_w, double p_batch_target_w,
         std::max(weight, 1e-3) * penalty_scale_ * k * k;
   }
 
+  if (pid_fallback_) {
+    update_pid(p_fb, p_batch_target_w);
+    return;
+  }
+
   problem.power_feedback_w = last_p_fb_w_;
   problem.power_target_w = p_batch_target_w;
 
@@ -110,6 +115,78 @@ void ServerPowerController::update(double p_total_w, double p_batch_target_w,
     for (std::size_t i = 0; i < n; ++i) {
       rack_.core(refs[i]).set_freq(last_out_.freq_next[i]);
     }
+  }
+  record_commanded_freq();
+}
+
+void ServerPowerController::set_pid_fallback(bool on) {
+  if (on == pid_fallback_) return;
+  pid_fallback_ = on;
+  if (on) {
+    // One loop drives the *mean* batch frequency: u in [0, 1] spans
+    // [freq_min, freq_max] uniformly across cores, so the plant gain is
+    // dP/du ~= n * K * (fmax - fmin). Gains are normalized by it so the
+    // closed loop converges in a handful of control periods regardless
+    // of rack size or model gain.
+    const auto& refs = rack_.batch_cores();
+    const server::CpuCore& first = rack_.core(refs.front());
+    const double span = std::max(1e-9, first.freq_max() - first.freq_min());
+    const double dp_du = std::max(
+        1e-9,
+        static_cast<double>(refs.size()) * effective_gain_w_per_f() * span);
+    control::PidConfig pc;
+    pc.kp = 0.4 / dp_du;
+    pc.ki = 0.25 / dp_du;
+    pc.output_min = 0.0;
+    pc.output_max = 1.0;
+    pid_ = control::PiController(pc);
+    pid_primed_ = false;
+  } else {
+    // Back on the MPC: drop its warm start (the fallback moved the plant
+    // out from under it) and forget the adaptive-gain observation pair.
+    mpc_.reset();
+    prev_freq_sum_ = -1.0;
+  }
+}
+
+void ServerPowerController::update_pid(double p_fb_w,
+                                       double p_batch_target_w) {
+  const auto& refs = rack_.batch_cores();
+  const std::size_t n = refs.size();
+  const server::CpuCore& first = rack_.core(refs.front());
+  const double fmin = first.freq_min();
+  const double span = std::max(1e-9, first.freq_max() - fmin);
+
+  if (!pid_primed_) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) sum += rack_.core(refs[i]).freq();
+    const double mean = sum / static_cast<double>(n);
+    pid_.preload_output(std::clamp((mean - fmin) / span, 0.0, 1.0));
+    pid_primed_ = true;
+  }
+
+  const double u =
+      pid_.step(p_batch_target_w, p_fb_w, config_.control_period_s);
+  const double freq = fmin + u * span;
+  // Honor the same per-core ceilings the MPC would (completed jobs idle
+  // at the floor, thermal guard pulls throttled cores down) — they were
+  // just folded into problem_.freq_max by update().
+  if (last_out_.freq_next.size() != n) last_out_.freq_next.assign(n, fmin);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double f =
+        std::clamp(freq, problem_.freq_min[i], problem_.freq_max[i]);
+    last_out_.freq_next[i] = f;
+    rack_.core(refs[i]).set_freq(f);
+  }
+  if (obs_ != nullptr) obs_->metrics().counter("control.pid_updates").add(1);
+  record_commanded_freq();
+}
+
+void ServerPowerController::reissue_last_command() {
+  const auto& refs = rack_.batch_cores();
+  if (last_out_.freq_next.size() != refs.size()) return;
+  for (std::size_t i = 0; i < refs.size(); ++i) {
+    rack_.core(refs[i]).set_freq(last_out_.freq_next[i]);
   }
   record_commanded_freq();
 }

@@ -10,6 +10,7 @@
 #pragma once
 
 #include "control/mpc.hpp"
+#include "control/pid.hpp"
 #include "control/rls.hpp"
 #include "core/allocator.hpp"
 #include "core/config.hpp"
@@ -41,6 +42,20 @@ class ServerPowerController {
 
   /// Force every batch core to a fixed frequency (sprint end / fallback).
   void force_batch_frequency(double freq);
+
+  /// Re-write the frequencies of the last update to the DVFS actuators —
+  /// the recovery engine's L0 "re-issue the command" action against a
+  /// transiently wedged actuator. No-op before the first update.
+  void reissue_last_command();
+
+  /// Degrade from the MPC to a uniform-frequency PI loop on the same
+  /// p_fb feedback (L1 of the recovery ladder: a solver or model fault
+  /// should not take batch control down with it). The handover is
+  /// bumpless — the PI integrator is preloaded so its first output
+  /// matches the current mean batch frequency. Leaving fallback resets
+  /// the MPC warm start.
+  void set_pid_fallback(bool on);
+  bool pid_fallback() const noexcept { return pid_fallback_; }
 
   /// Feedback power used in the last update (Eq. 6).
   double last_p_fb_w() const noexcept { return last_p_fb_w_; }
@@ -74,6 +89,11 @@ class ServerPowerController {
   obs::ObsSink* obs_ = nullptr;
   /// Publish the mean batch frequency this controller just commanded.
   void record_commanded_freq();
+  /// PI-fallback control period (replaces the MPC solve + actuation).
+  void update_pid(double p_fb_w, double p_batch_target_w);
+  bool pid_fallback_ = false;
+  bool pid_primed_ = false;  ///< integrator preloaded for bumpless entry
+  control::PiController pid_{control::PidConfig{}};
   double last_p_fb_w_ = 0.0;
   /// State for the adaptive-gain observation: the frequency sum we applied
   /// last period and the feedback power we saw before applying it.

@@ -2,12 +2,23 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 
 #include "common/validation.hpp"
 #include "fault/injector.hpp"
 #include "server/platform.hpp"
 
 namespace sprintcon::core {
+
+const char* to_string(ControlMode mode) noexcept {
+  switch (mode) {
+    case ControlMode::kNormal: return "normal";
+    case ControlMode::kPidFallback: return "pid_fallback";
+    case ControlMode::kConservativeCap: return "conservative_cap";
+    case ControlMode::kQuarantined: return "quarantined";
+  }
+  return "unknown";
+}
 
 SprintConController::SprintConController(const SprintConfig& config,
                                          server::Rack& rack,
@@ -21,6 +32,16 @@ SprintConController::SprintConController(const SprintConfig& config,
       ups_ctrl_(config),
       safety_(config) {
   config.validate();
+}
+
+void SprintConController::set_control_mode(ControlMode mode) {
+  if (mode == mode_) return;
+  mode_ = mode;
+  // Modes are exclusive operating points, not a stack: escalating from
+  // PID fallback to the cap (or quarantine) hands batch control back to
+  // the MPC under the tighter budget — the stronger containment
+  // supersedes the weaker one.
+  server_ctrl_.set_pid_fallback(mode == ControlMode::kPidFallback);
 }
 
 void SprintConController::set_obs(obs::ObsSink* sink) {
@@ -173,9 +194,12 @@ void SprintConController::step(const sim::SimClock& clock) {
   }
   AllocatorTargets targets = allocator_.targets(now);
 
-  // Safety overrides of the CB target.
+  // Safety overrides of the CB target; the degraded recovery modes give
+  // up the overload entirely (conservative operation under rated P_cb).
   p_cb_eff_w_ = targets.p_cb_w;
-  if (safety_.cb_protect() || state == SprintState::kEnded) {
+  if (safety_.cb_protect() || state == SprintState::kEnded ||
+      mode_ == ControlMode::kConservativeCap ||
+      mode_ == ControlMode::kQuarantined) {
     p_cb_eff_w_ = std::min(p_cb_eff_w_, config_.cb_rated_w);
   }
 
@@ -191,7 +215,16 @@ void SprintConController::step(const sim::SimClock& clock) {
   const double recharge_w = recharge_w_;
 
   // --- server power controller ---------------------------------------------
-  if (clock.every(config_.control_period_s)) {
+  if (clock.every(config_.control_period_s) &&
+      mode_ == ControlMode::kQuarantined) {
+    // Quarantine: the sprint is over for this rack. Batch pinned at the
+    // DVFS floor (re-imposed every period so a wedged actuator cannot
+    // creep it back up); no MPC, no bidding. The rig/facility layer
+    // sheds or re-routes the interactive load.
+    const auto& refs = rack_.batch_cores();
+    server_ctrl_.force_batch_frequency(rack_.core(refs.front()).freq_min());
+    p_batch_eff_w_ = 0.0;
+  } else if (clock.every(config_.control_period_s)) {
     double batch_target = std::min(targets.p_batch_w, p_cb_eff_w_);
     // The margin absorbs model error and interactive spikes that the CB
     // must not see when the UPS cannot (or should not) cover them.
@@ -201,11 +234,13 @@ void SprintConController::step(const sim::SimClock& clock) {
     // see the fault-injection chaos suite): the workloads themselves are
     // the only remaining defense, so bid everything under P_cb. A healthy
     // UPS keeps cb_w at rated during protect and never takes this path.
+    // The recovery engine's conservative-cap rung commands the same
+    // containment preemptively.
     const bool ups_shortfall =
         safety_.cb_protect() &&
         path_.last().cb_w > config_.cb_rated_w * 1.02;
     if (state == SprintState::kUpsConserve || state == SprintState::kEnded ||
-        ups_shortfall) {
+        ups_shortfall || mode_ == ControlMode::kConservativeCap) {
       // Battery low: P_cb caps ALL workloads; classes bid for power.
       batch_target =
           bid_batch_budget_w(p_cb_eff_w_ * (1.0 - kCapMargin), p_inter, now);
@@ -226,7 +261,10 @@ void SprintConController::step(const sim::SimClock& clock) {
     // In the conserve modes the workload caps drive p_total down to P_cb,
     // so this command naturally decays toward zero discharge.
     const double prev_cmd = ups_command_w_;
-    ups_command_w_ = config_.ups_controller_enabled
+    // A quarantined rack leaves its store alone: demand is already under
+    // rated, and a faulted discharge path must not keep draining it.
+    ups_command_w_ = config_.ups_controller_enabled &&
+                             mode_ != ControlMode::kQuarantined
                          ? ups_ctrl_.command_w(p_meas, p_cb_eff_w_)
                          : 0.0;
     // Report setpoint moves above noise (0.5 W) — per-tick jitter from the
@@ -253,6 +291,20 @@ void SprintConController::resolve_flows(double p_total_w, double now_s,
                              p_total_w);
   const power::PowerFlows flows =
       path_.step(p_total_w, ups_command_w_, dt_s, recharge_w_);
+  if (obs_ != nullptr) {
+    // UPS delivery audit: the commanded discharge (capped at demand — the
+    // path never pushes upstream) minus what actually arrived. Healthy
+    // hardware over-delivers if anything (the duty grid rounds up), so a
+    // sustained deficit is the discharge-path fault signature the
+    // "ups-discharge-shortfall" health rule watches. The 5 W dead band
+    // absorbs duty quantization at the grid edges.
+    const double expected_w = std::min(ups_command_w_, flows.demand_w);
+    const double shortfall_w = expected_w - flows.ups_w;
+    if (shortfall_w > 5.0) {
+      obs_->metrics().counter("power.ups_shortfall_j")
+          .add(static_cast<std::uint64_t>(shortfall_w * dt_s + 0.5));
+    }
+  }
   if (flows.unserved_w > 50.0) {
     // Demand nobody could serve: the rack browns out.
     outage_ = true;

@@ -17,6 +17,8 @@
 // happen the sprint ends.
 #pragma once
 
+#include <cstdint>
+
 #include "core/allocator.hpp"
 #include "core/bidding.hpp"
 #include "core/config.hpp"
@@ -32,6 +34,18 @@ class FaultInjector;
 }
 
 namespace sprintcon::core {
+
+/// Degraded operating modes the recovery engine can command. They stack
+/// on top of (never replace) the safety state machine: safety overrides
+/// still apply in every mode.
+enum class ControlMode : std::uint8_t {
+  kNormal,           ///< full SprintCon (MPC + overload schedule)
+  kPidFallback,      ///< batch control degraded from MPC to a PI loop
+  kConservativeCap,  ///< all workloads bid under rated P_cb (no overload)
+  kQuarantined,      ///< sprint ended, batch pinned at the floor, UPS idle
+};
+
+const char* to_string(ControlMode mode) noexcept;
 
 /// The complete SprintCon controller for one rack.
 class SprintConController : public sim::Component {
@@ -56,6 +70,15 @@ class SprintConController : public sim::Component {
   double ups_command_w() const noexcept { return ups_command_w_; }
   /// True once unserved demand has shut the rack down.
   bool outage() const noexcept { return outage_; }
+
+  /// Commanded degraded mode (recovery ladder). Entering kPidFallback
+  /// swaps the batch controller; kConservativeCap caps P_cb at rated and
+  /// routes every control period through the bidding fallback;
+  /// kQuarantined additionally pins batch at the DVFS floor and zeroes
+  /// the UPS command. Leaving a mode restores normal operation on the
+  /// next period.
+  void set_control_mode(ControlMode mode);
+  ControlMode control_mode() const noexcept { return mode_; }
 
   PowerLoadAllocator& allocator() noexcept { return allocator_; }
   ServerPowerController& server_controller() noexcept { return server_ctrl_; }
@@ -90,6 +113,7 @@ class SprintConController : public sim::Component {
   UpsPowerController ups_ctrl_;
   SafetyMonitor safety_;
 
+  ControlMode mode_ = ControlMode::kNormal;
   double p_cb_eff_w_ = 0.0;
   double p_batch_eff_w_ = 0.0;
   double ups_command_w_ = 0.0;

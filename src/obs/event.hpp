@@ -28,6 +28,9 @@ enum class EventType : std::uint8_t {
   kFaultCleared,        ///< a scripted fault window ended
   kHealthDegraded,      ///< a health rule fired (cause = rule name)
   kHealthRecovered,     ///< a degraded health rule went healthy again
+  kRecoveryAction,      ///< the recovery engine applied a remediation step
+  kRecoveryEscalated,   ///< remediation moved up the degradation ladder
+  kRecoveryDeescalated, ///< remediation stepped back down (or resolved)
   kCustom,              ///< application-defined
 };
 

@@ -22,6 +22,9 @@ const char* to_string(EventType type) noexcept {
     case EventType::kFaultCleared: return "fault_cleared";
     case EventType::kHealthDegraded: return "health_degraded";
     case EventType::kHealthRecovered: return "health_recovered";
+    case EventType::kRecoveryAction: return "recovery_action";
+    case EventType::kRecoveryEscalated: return "recovery_escalated";
+    case EventType::kRecoveryDeescalated: return "recovery_deescalated";
     case EventType::kCustom: return "custom";
   }
   return "unknown";

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstring>
+#include <limits>
 
 #include "common/validation.hpp"
 
@@ -29,9 +30,51 @@ std::size_t HealthMonitor::active_alerts() const noexcept {
   return n;
 }
 
+std::vector<const char*> HealthMonitor::degraded_rules() const {
+  std::vector<const char*> out;
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    if (states_[i].degraded) out.push_back(rules_[i].name);
+  }
+  return out;
+}
+
 bool HealthMonitor::degraded(const char* name) const noexcept {
   for (std::size_t i = 0; i < rules_.size(); ++i) {
     if (std::strcmp(rules_[i].name, name) == 0) return states_[i].degraded;
+  }
+  return false;
+}
+
+const char* HealthMonitor::rule_name(std::string_view name) const noexcept {
+  for (const HealthRule& rule : rules_) {
+    if (name == rule.name) return rule.name;
+  }
+  return nullptr;
+}
+
+double HealthMonitor::threshold(std::string_view name) const noexcept {
+  for (const HealthRule& rule : rules_) {
+    if (name == rule.name) return rule.threshold;
+  }
+  return std::numeric_limits<double>::quiet_NaN();
+}
+
+bool HealthMonitor::rebaseline(std::string_view name, double margin) {
+  SPRINTCON_EXPECTS(margin > 0.0 && margin < 1.0,
+                    "rebaseline margin must be in (0, 1)");
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    HealthRule& rule = rules_[i];
+    if (name != rule.name) continue;
+    if (rule.kind != HealthRuleKind::kAbove &&
+        rule.kind != HealthRuleKind::kBelow) {
+      return false;
+    }
+    const MetricsSnapshot snap = sink_->metrics().snapshot();
+    double value = 0.0;
+    if (!read_signal(snap, rule, value)) return false;
+    rule.threshold = rule.kind == HealthRuleKind::kBelow ? value * margin
+                                                         : value / margin;
+    return true;
   }
   return false;
 }

@@ -22,6 +22,7 @@
 
 #include <cstddef>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "obs/sink.hpp"
@@ -74,6 +75,26 @@ class HealthMonitor {
   std::size_t active_alerts() const noexcept;
   /// True if the named rule is currently degraded.
   bool degraded(const char* name) const noexcept;
+
+  /// Names of every currently-degraded rule (static strings, stable for
+  /// the monitor's lifetime) — the dashboard/export "active alerts" view.
+  std::vector<const char*> degraded_rules() const;
+
+  /// The static-string name pointer of the named rule (nullptr when
+  /// unknown). Recovery events reuse it as their cause, honoring the
+  /// event-log contract that causes are static strings.
+  const char* rule_name(std::string_view name) const noexcept;
+
+  /// Current threshold of the named rule (NaN when unknown).
+  double threshold(std::string_view name) const noexcept;
+
+  /// Re-rate a kAbove/kBelow rule's threshold against the signal's current
+  /// reading with a safety margin in (0, 1): kBelow gets value * margin,
+  /// kAbove gets value / margin. Models operational acceptance of a
+  /// permanent degradation (e.g. re-rating a faded battery) so the rule
+  /// can recover and the alert clears. Returns false when the rule is
+  /// unknown, not a threshold rule, or its signal has no data yet.
+  bool rebaseline(std::string_view name, double margin);
 
  private:
   struct RuleState {

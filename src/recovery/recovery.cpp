@@ -1,0 +1,196 @@
+#include "recovery/recovery.hpp"
+
+#include <algorithm>
+
+#include "common/validation.hpp"
+
+namespace sprintcon::recovery {
+
+RecoveryManager::RecoveryManager(obs::ObsSink* sink,
+                                 obs::HealthMonitor* monitor,
+                                 RecoveryTarget* target, Playbook playbook)
+    : sink_(sink),
+      monitor_(monitor),
+      target_(target),
+      playbook_(std::move(playbook)) {
+  SPRINTCON_EXPECTS(sink != nullptr, "RecoveryManager needs a sink");
+  SPRINTCON_EXPECTS(monitor != nullptr, "RecoveryManager needs a monitor");
+  SPRINTCON_EXPECTS(target != nullptr, "RecoveryManager needs a target");
+  playbook_.validate();
+  states_.resize(playbook_.rules.size());
+}
+
+std::size_t RecoveryManager::active_incidents() const noexcept {
+  std::size_t n = 0;
+  for (const RuleState& s : states_) n += s.incident ? 1 : 0;
+  return n;
+}
+
+bool RecoveryManager::quarantined() const noexcept {
+  for (std::size_t i = 0; i < states_.size(); ++i) {
+    const RuleState& s = states_[i];
+    if (!s.incident) continue;
+    // Rungs 0..rung are engaged cumulatively; quarantine holds if any of
+    // them is a quarantine step.
+    const auto& ladder = playbook_.rules[i].ladder;
+    for (int j = 0; j <= s.rung; ++j) {
+      if (ladder[static_cast<std::size_t>(j)].action ==
+          ActionKind::kQuarantine) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+int RecoveryManager::level(std::string_view trigger) const noexcept {
+  for (std::size_t i = 0; i < playbook_.rules.size(); ++i) {
+    if (playbook_.rules[i].trigger == trigger) return states_[i].rung;
+  }
+  return -1;
+}
+
+void RecoveryManager::apply_action(const RecoveryRule& rule,
+                                   RuleState& state, double now_s) {
+  const RecoveryStep& step =
+      rule.ladder[static_cast<std::size_t>(state.rung)];
+  // Impulse actions re-fire on every retry; modal actions engage once and
+  // then dwell — later "retries" at the rung are pure wait time that
+  // gives the rule a chance to recover before escalating.
+  const bool acts = step.action == ActionKind::kResetActuator ||
+                    state.retries == 0;
+  ++state.retries;
+  const int shift = std::min(state.retries - 1, 16);
+  state.cooldown =
+      std::min(step.backoff_checks << shift, step.max_backoff_checks);
+  if (!acts) return;
+
+  switch (step.action) {
+    case ActionKind::kResetActuator:
+      target_->reset_actuator(rule.trigger);
+      break;
+    case ActionKind::kPidFallback:
+      target_->engage_pid_fallback();
+      break;
+    case ActionKind::kConservativeCap:
+      target_->engage_conservative_cap();
+      break;
+    case ActionKind::kQuarantine:
+      target_->engage_quarantine();
+      break;
+    case ActionKind::kRebaseline:
+      target_->rebaseline(rule.trigger, step.param);
+      break;
+  }
+  ++actions_;
+  sink_->metrics().counter("recovery.actions").add(1);
+  sink_->events().emit(now_s, obs::EventType::kRecoveryAction, state.cause,
+                       {{"level", static_cast<double>(state.rung)},
+                        {"attempt", static_cast<double>(state.retries)},
+                        {"action", static_cast<double>(step.action)}});
+}
+
+void RecoveryManager::release_action(const RecoveryRule& rule,
+                                     RuleState& state) {
+  const RecoveryStep& step =
+      rule.ladder[static_cast<std::size_t>(state.rung)];
+  switch (step.action) {
+    case ActionKind::kPidFallback:
+      target_->release_pid_fallback();
+      break;
+    case ActionKind::kConservativeCap:
+      target_->release_conservative_cap();
+      break;
+    case ActionKind::kQuarantine:
+      target_->release_quarantine();
+      break;
+    case ActionKind::kResetActuator:
+    case ActionKind::kRebaseline:
+      break;  // impulses leave nothing engaged
+  }
+  --state.rung;
+}
+
+void RecoveryManager::poll(double now_s) {
+  for (std::size_t i = 0; i < playbook_.rules.size(); ++i) {
+    const RecoveryRule& rule = playbook_.rules[i];
+    RuleState& state = states_[i];
+    if (state.cause == nullptr) {
+      // Resolve the monitor's static name pointer lazily so rules added
+      // to the monitor after construction still bind; an unmatched
+      // trigger stays inert.
+      state.cause = monitor_->rule_name(rule.trigger);
+      if (state.cause == nullptr) continue;
+    }
+
+    if (monitor_->degraded(state.cause)) {
+      state.ok_streak = 0;
+      if (!state.incident) {
+        state.incident = true;
+        state.t_degraded = now_s;
+        state.rung = 0;
+        state.retries = 0;
+        state.cooldown = 0;
+        apply_action(rule, state, now_s);
+      } else if (state.cooldown > 0) {
+        --state.cooldown;
+      } else if (state.retries <
+                 rule.ladder[static_cast<std::size_t>(state.rung)]
+                     .max_retries) {
+        apply_action(rule, state, now_s);
+      } else if (state.rung + 1 <
+                 static_cast<int>(rule.ladder.size())) {
+        ++state.rung;
+        state.retries = 0;
+        sink_->metrics().counter("recovery.escalations").add(1);
+        sink_->events().emit(
+            now_s, obs::EventType::kRecoveryEscalated, state.cause,
+            {{"level", static_cast<double>(state.rung)},
+             {"action",
+              static_cast<double>(
+                  rule.ladder[static_cast<std::size_t>(state.rung)]
+                      .action)}});
+        apply_action(rule, state, now_s);
+      }
+      // else: terminal rung, retries exhausted — hold the containment.
+    } else if (state.incident) {
+      ++state.ok_streak;
+      if (state.ok_streak >= rule.deescalate_after) {
+        state.ok_streak = 0;
+        release_action(rule, state);
+        sink_->metrics().counter("recovery.deescalations").add(1);
+        if (state.rung < 0) {
+          state.incident = false;
+          last_mttr_s_ = now_s - state.t_degraded;
+          ++resolved_;
+          sink_->metrics().histogram("recovery.mttr_s").record(last_mttr_s_);
+          sink_->metrics().counter("recovery.incidents_resolved").add(1);
+          sink_->events().emit(now_s, obs::EventType::kRecoveryDeescalated,
+                               state.cause,
+                               {{"level", -1.0},
+                                {"mttr_s", last_mttr_s_}});
+        } else {
+          // Re-arm the rung we fell back to: it is already engaged and
+          // has spent its retries, so a re-breach escalates again after
+          // one backoff instead of replaying the whole ladder.
+          const RecoveryStep& step =
+              rule.ladder[static_cast<std::size_t>(state.rung)];
+          state.retries = step.max_retries;
+          state.cooldown = step.backoff_checks;
+          sink_->events().emit(now_s, obs::EventType::kRecoveryDeescalated,
+                               state.cause,
+                               {{"level", static_cast<double>(state.rung)},
+                                {"action",
+                                 static_cast<double>(step.action)}});
+        }
+      }
+    }
+  }
+
+  sink_->metrics().gauge("recovery.active_incidents")
+      .set(static_cast<double>(active_incidents()));
+  sink_->metrics().gauge("recovery.quarantined")
+      .set(quarantined() ? 1.0 : 0.0);
+}
+
+}  // namespace sprintcon::recovery

@@ -14,20 +14,40 @@ namespace sprintcon::scenario {
 
 namespace {
 
-/// First stored exception wins; later ones are dropped (workers race).
-class FirstException {
+/// Captures *every* worker exception — the first as an exception_ptr for
+/// rethrow, all of them as (worker, epoch, what) records. Workers race on
+/// capture(); errors() / rethrow_first() are for after they have joined.
+class ErrorCollector {
  public:
-  void capture() noexcept {
+  void capture(std::size_t worker, std::size_t epoch) noexcept {
     const std::lock_guard<std::mutex> lock(mu_);
     if (!eptr_) eptr_ = std::current_exception();
+    WorkerError err{worker, epoch, "unknown"};
+    try {
+      throw;  // re-enter the active exception to read its message
+    } catch (const std::exception& e) {
+      err.what = e.what();
+    } catch (...) {
+    }
+    errors_.push_back(std::move(err));
   }
-  void rethrow_if_any() {
+  void rethrow_first() {
     if (eptr_) std::rethrow_exception(eptr_);
+  }
+  bool any() const noexcept { return eptr_ != nullptr; }
+  std::vector<WorkerError> take_errors() {
+    std::sort(errors_.begin(), errors_.end(),
+              [](const WorkerError& a, const WorkerError& b) {
+                return a.worker != b.worker ? a.worker < b.worker
+                                            : a.epoch < b.epoch;
+              });
+    return std::move(errors_);
   }
 
  private:
   std::mutex mu_;
   std::exception_ptr eptr_;
+  std::vector<WorkerError> errors_;
 };
 
 }  // namespace
@@ -60,6 +80,7 @@ Facility::Facility(const FacilityConfig& config) : config_(config) {
     rack_cfg.observability =
         config.observability || config.tracing || config.rack.observability;
     rack_cfg.health = config.health || config.rack.health;
+    rack_cfg.recovery = config.recovery || config.rack.recovery;
     if (config.staggered) {
       rack_cfg.sprint.schedule_offset_s =
           cycle * static_cast<double>(r) /
@@ -73,12 +94,16 @@ Facility::Facility(const FacilityConfig& config) : config_(config) {
   // self-contained, so it shards as cleanly as execution does. The
   // vector is pre-sized; workers write disjoint slots.
   rigs_.resize(config.num_racks);
+  rig_failed_.assign(config.num_racks, 0);
+  rerouted_out_.assign(config.num_racks, 0);
   if (num_workers_ <= 1) {
     for (std::size_t r = 0; r < rigs_.size(); ++r) {
       rigs_[r] = std::make_unique<Rig>(rack_config(r));
     }
   } else {
-    FirstException error;
+    // Construction failures always fail fast — a half-built facility has
+    // no surviving shards worth degrading to.
+    ErrorCollector error;
     std::vector<std::thread> workers;
     workers.reserve(num_workers_);
     for (std::size_t w = 0; w < num_workers_; ++w) {
@@ -89,12 +114,12 @@ Facility::Facility(const FacilityConfig& config) : config_(config) {
             rigs_[r] = std::make_unique<Rig>(rack_config(r));
           }
         } catch (...) {
-          error.capture();
+          error.capture(w, 0);
         }
       });
     }
     for (std::thread& t : workers) t.join();
-    error.rethrow_if_any();
+    error.rethrow_first();
   }
 
   if (config.observability) {
@@ -156,26 +181,88 @@ void Facility::run() {
     }
   };
 
-  FirstException error;
+  ErrorCollector error;
+  const auto mark_shard_failed = [&](std::size_t w) {
+    const auto [first, last] = shard_range(w);
+    for (std::size_t r = first; r < last; ++r) rig_failed_[r] = 1;
+  };
+
+  // Re-route coordinator: steer interactive request load away from
+  // out-of-service racks (lost to a worker failure, or held in quarantine
+  // by their rig's recovery engine) and conserve the offered load across
+  // the survivors. Runs only at epoch boundaries with every worker
+  // parked, so inspecting any rig is safe; scales are rewritten only when
+  // the out-of-service set changes, so a fault-free run never touches a
+  // queue.
+  const auto reroute = [&](double t_s) {
+    std::vector<std::uint8_t> out(rigs_.size(), 0);
+    std::size_t num_out = 0;
+    std::size_t with_queues = 0;
+    for (std::size_t r = 0; r < rigs_.size(); ++r) {
+      if (rigs_[r]->request_queues().empty()) continue;
+      ++with_queues;
+      const recovery::RecoveryManager* rec = rigs_[r]->recovery();
+      out[r] = rig_failed_[r] != 0 ||
+               (rec != nullptr && rec->quarantined());
+      num_out += out[r];
+    }
+    if (out == rerouted_out_) return;
+    rerouted_out_ = out;
+    const std::size_t survivors = with_queues - num_out;
+    const double scale = survivors > 0
+                             ? static_cast<double>(with_queues) /
+                                   static_cast<double>(survivors)
+                             : 0.0;
+    for (std::size_t r = 0; r < rigs_.size(); ++r) {
+      const auto& queues = rigs_[r]->request_queues();
+      if (queues.empty()) continue;
+      const double s = out[r] != 0 ? 0.0 : scale;
+      for (workload::RequestQueueSource* q : queues) q->set_load_scale(s);
+    }
+    if (obs_ != nullptr) {
+      obs_->metrics().counter("facility.reroutes").add(1);
+      obs_->metrics()
+          .gauge("facility.quarantined_racks")
+          .set(static_cast<double>(num_out));
+      obs_->events().emit(t_s, obs::EventType::kCustom, "load_reroute",
+                          {{"out_of_service", static_cast<double>(num_out)},
+                           {"scale", scale}});
+    }
+  };
+
   // Epoch boundary: every shard has reached the same simulated time and
-  // every worker is parked, so the callback may inspect any rig.
+  // every worker is parked, so the callback may inspect any rig. Epoch
+  // callback exceptions are attributed to pseudo-worker `num_workers_`.
   std::size_t epoch_index = 0;
   const auto on_epoch = [&]() noexcept {
+    const double t_s = std::min(
+        config_.epoch_s * static_cast<double>(epoch_index + 1), duration);
+    if (config_.recovery) reroute(t_s);
     if (config_.epoch_callback) {
-      const double t_s = std::min(
-          config_.epoch_s * static_cast<double>(epoch_index + 1), duration);
       try {
         config_.epoch_callback(epoch_index, t_s);
       } catch (...) {
-        error.capture();
+        error.capture(num_workers_, epoch_index);
       }
     }
     ++epoch_index;
   };
 
+  const bool degrade =
+      config_.worker_failure == WorkerFailurePolicy::kDegrade;
   if (num_workers_ <= 1) {
+    bool failed = false;
     for (std::size_t e = 0; e < num_epochs; ++e) {
-      advance_shard(0, e);
+      if (!failed) {
+        try {
+          advance_shard(0, e);
+        } catch (...) {
+          error.capture(0, e);
+          failed = true;
+          if (!degrade) break;
+          mark_shard_failed(0);
+        }
+      }
       on_epoch();
     }
   } else {
@@ -192,8 +279,12 @@ void Facility::run() {
             try {
               advance_shard(w, e);
             } catch (...) {
-              error.capture();
+              error.capture(w, e);
               failed = true;  // keep arriving so peers don't deadlock
+              // Under kDegrade the shard's racks go out of service; the
+              // flags are written only by this owning worker and read at
+              // the barrier (or after join), so this does not race.
+              if (degrade) mark_shard_failed(w);
             }
           }
           // Barrier wait is the shard-imbalance signal: a worker whose
@@ -206,7 +297,31 @@ void Facility::run() {
     }
     for (std::thread& t : workers) t.join();
   }
-  error.rethrow_if_any();
+
+  // Every captured exception — not just the first — is surfaced: counted,
+  // emitted as events (post-join on this thread; the EventLog is
+  // single-writer), and kept in worker_errors() even when kFailFast
+  // rethrows below.
+  worker_errors_ = error.take_errors();
+  if (!worker_errors_.empty() && obs_ != nullptr) {
+    obs_->metrics().counter("facility.worker_errors")
+        .add(worker_errors_.size());
+    for (const WorkerError& err : worker_errors_) {
+      obs_->events().emit(
+          std::min(config_.epoch_s * static_cast<double>(err.epoch + 1),
+                   duration),
+          obs::EventType::kCustom, "worker_failure",
+          {{"worker", static_cast<double>(err.worker)},
+           {"epoch", static_cast<double>(err.epoch)}});
+    }
+  }
+  if (!degrade) {
+    error.rethrow_first();
+  } else if (obs_ != nullptr && error.any()) {
+    obs_->metrics()
+        .gauge("facility.failed_racks")
+        .set(static_cast<double>(num_failed_racks()));
+  }
 
   if (rack_run_us_ != nullptr) {
     for (const double s : rig_run_s) rack_run_us_->record(s * 1e6);
@@ -241,17 +356,49 @@ TimeSeries Facility::sum_channel(const char* channel,
   // channel once instead of once per (sample, rack) pair.
   std::vector<const TimeSeries*> series;
   series.reserve(rigs_.size());
-  for (const auto& rig : rigs_) series.push_back(&rig->recorder().series(channel));
-  const TimeSeries& first = *series.front();
-  TimeSeries sum(name, first.dt_s(), first.start_s());
-  for (std::size_t i = 0; i < first.size(); ++i) {
+  const TimeSeries* ref = nullptr;  // longest series sets the time base
+  for (const auto& rig : rigs_) {
+    const TimeSeries* s = &rig->recorder().series(channel);
+    series.push_back(s);
+    if (ref == nullptr || s->size() > ref->size()) ref = s;
+  }
+  SPRINTCON_ENSURES(ref != nullptr && ref->size() > 0,
+                    "no samples recorded on any rack");
+  TimeSeries sum(name, ref->dt_s(), ref->start_s());
+  for (std::size_t i = 0; i < ref->size(); ++i) {
     double total = 0.0;
     for (const TimeSeries* s : series) {
+      // A rack lost to a worker failure mid-run has a short (possibly
+      // empty) series: hold its last sample, contribute nothing if it
+      // never produced one.
+      if (s->size() == 0) continue;
       total += (*s)[std::min(i, s->size() - 1)];
     }
     sum.push(total);
   }
   return sum;
+}
+
+bool Facility::rack_failed(std::size_t i) const {
+  SPRINTCON_EXPECTS(i < rig_failed_.size(), "rack index out of range");
+  return rig_failed_[i] != 0;
+}
+
+std::size_t Facility::num_failed_racks() const noexcept {
+  std::size_t n = 0;
+  for (const std::uint8_t f : rig_failed_) n += f;
+  return n;
+}
+
+std::vector<std::size_t> Facility::quarantined_racks() const {
+  std::vector<std::size_t> out;
+  for (std::size_t r = 0; r < rigs_.size(); ++r) {
+    const recovery::RecoveryManager* rec = rigs_[r]->recovery();
+    if (rig_failed_[r] != 0 || (rec != nullptr && rec->quarantined())) {
+      out.push_back(r);
+    }
+  }
+  return out;
 }
 
 TimeSeries Facility::facility_cb_power() const {

@@ -17,14 +17,35 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/time_series.hpp"
 #include "scenario/rig.hpp"
 
 namespace sprintcon::scenario {
+
+/// What run() does when a shard worker throws mid-run.
+enum class WorkerFailurePolicy : std::uint8_t {
+  /// Every worker finishes its epoch loop (the barrier needs them), then
+  /// the first exception rethrows from run(). Historical behavior.
+  kFailFast,
+  /// The failing worker's rigs are marked failed (reported quarantined);
+  /// surviving shards complete the run and run() returns normally. The
+  /// errors stay visible via worker_errors(), the
+  /// facility.worker_errors counter, and worker_failure events.
+  kDegrade,
+};
+
+/// One captured worker exception (see Facility::worker_errors()).
+struct WorkerError {
+  std::size_t worker = 0;  ///< shard id that threw
+  std::size_t epoch = 0;   ///< epoch index in flight when it threw
+  std::string what;        ///< exception message ("unknown" if untyped)
+};
 
 /// Facility-level configuration.
 struct FacilityConfig {
@@ -64,6 +85,13 @@ struct FacilityConfig {
   std::size_t trace_capacity = std::size_t{1} << 14;
   /// Forwarded to every rack: enable the per-rig HealthMonitor.
   bool health = false;
+  /// Forwarded to every rack: enable the per-rig recovery engine
+  /// (implies health). The facility additionally re-routes interactive
+  /// request load away from quarantined/failed rigs at every epoch
+  /// boundary, conserving the offered load across the survivors.
+  bool recovery = false;
+  /// Supervision policy for shard workers that throw mid-run.
+  WorkerFailurePolicy worker_failure = WorkerFailurePolicy::kFailFast;
 
   void validate() const;
 };
@@ -106,6 +134,20 @@ class Facility {
   obs::Tracer* tracer() noexcept { return tracer_.get(); }
   const obs::Tracer* tracer() const noexcept { return tracer_.get(); }
 
+  /// Every worker exception captured during run(), ordered by (worker,
+  /// epoch). Non-empty after a kDegrade run that lost shards, and also
+  /// populated before rethrow under kFailFast (so a caller catching the
+  /// first exception can still see the rest).
+  const std::vector<WorkerError>& worker_errors() const noexcept {
+    return worker_errors_;
+  }
+  /// True when rack `i` was lost to a worker failure (kDegrade).
+  bool rack_failed(std::size_t i) const;
+  std::size_t num_failed_racks() const noexcept;
+  /// Racks currently out of service: failed by a worker, or held in
+  /// quarantine by their rig's recovery engine.
+  std::vector<std::size_t> quarantined_racks() const;
+
  private:
   TimeSeries sum_channel(const char* channel, const char* name) const;
   /// Rig index range [first, last) owned by worker `w`.
@@ -119,6 +161,14 @@ class Facility {
   /// Per-worker shard buffers, indexed by worker id (wired before run()).
   std::vector<obs::TraceBuffer*> shard_buffers_;
   obs::Histogram* rack_run_us_ = nullptr;
+  /// Per-rack failure flags; each slot is written only by the rack's
+  /// owning worker and read with every worker parked (barrier/join).
+  std::vector<std::uint8_t> rig_failed_;
+  std::vector<WorkerError> worker_errors_;
+  /// Re-route coordinator state: the out-of-service set applied at the
+  /// previous epoch boundary (so load scales are only rewritten and the
+  /// reroute counter only bumps when the set changes).
+  std::vector<std::uint8_t> rerouted_out_;
   bool ran_ = false;
 };
 

@@ -12,6 +12,73 @@
 
 namespace sprintcon::scenario {
 
+namespace {
+
+/// Adapts the recovery engine's action interface onto one rig: modes are
+/// mapped onto the SprintConController with quarantine > cap > PID
+/// precedence, and each modal action is reference-counted so several
+/// triggers can hold the same rung without fighting over the mode.
+class RigRecoveryTarget final : public recovery::RecoveryTarget {
+ public:
+  RigRecoveryTarget(core::SprintConController& ctrl,
+                    obs::HealthMonitor& health,
+                    std::vector<workload::RequestQueueSource*>& queues)
+      : ctrl_(ctrl), health_(health), queues_(queues) {}
+
+  void reset_actuator(std::string_view trigger) override {
+    // The only actuator this simulation can meaningfully re-drive is the
+    // DVFS command path; a meter or discharge-circuit power cycle has no
+    // simulated effect, which is exactly the "reset did not help" case
+    // the ladder escalates past.
+    if (trigger == "dvfs-divergence") {
+      ctrl_.server_controller().reissue_last_command();
+    }
+  }
+
+  void engage_pid_fallback() override { ++pid_; apply_mode(); }
+  void release_pid_fallback() override { --pid_; apply_mode(); }
+  void engage_conservative_cap() override { ++cap_; apply_mode(); }
+  void release_conservative_cap() override { --cap_; apply_mode(); }
+
+  void engage_quarantine() override {
+    if (++quarantine_ == 1) {
+      // The front-end stops routing requests at this rack; a facility
+      // re-route coordinator may later redistribute them to peers.
+      for (auto* q : queues_) q->set_load_scale(0.0);
+    }
+    apply_mode();
+  }
+  void release_quarantine() override {
+    if (--quarantine_ == 0) {
+      for (auto* q : queues_) q->set_load_scale(1.0);
+    }
+    apply_mode();
+  }
+
+  bool rebaseline(std::string_view trigger, double margin) override {
+    return health_.rebaseline(trigger, margin);
+  }
+
+ private:
+  void apply_mode() {
+    ctrl_.set_control_mode(quarantine_ > 0
+                               ? core::ControlMode::kQuarantined
+                               : cap_ > 0 ? core::ControlMode::kConservativeCap
+                                          : pid_ > 0
+                                                ? core::ControlMode::kPidFallback
+                                                : core::ControlMode::kNormal);
+  }
+
+  core::SprintConController& ctrl_;
+  obs::HealthMonitor& health_;
+  std::vector<workload::RequestQueueSource*>& queues_;
+  int pid_ = 0;
+  int cap_ = 0;
+  int quarantine_ = 0;
+};
+
+}  // namespace
+
 const char* to_string(Policy policy) noexcept {
   switch (policy) {
     case Policy::kSprintCon: return "SprintCon";
@@ -34,8 +101,12 @@ void RigConfig::validate() const {
   SPRINTCON_EXPECTS(ups_capacity_wh > 0.0, "UPS capacity must be positive");
   SPRINTCON_EXPECTS(health_period_s > 0.0, "health period must be positive");
   SPRINTCON_EXPECTS(metrics_window_s > 0.0, "metric window must be positive");
+  SPRINTCON_EXPECTS(!recovery || policy == Policy::kSprintCon,
+                    "recovery drives the SprintCon controller ladder; "
+                    "enable it with Policy::kSprintCon");
   sprint.validate();
   faults.validate();
+  playbook.validate();
 }
 
 Rig::Rig(const RigConfig& config) : config_(config) {
@@ -164,7 +235,8 @@ Rig::Rig(const RigConfig& config) : config_(config) {
   }
 
   // --- observability ----------------------------------------------------------
-  if (config.observability || config.health) {
+  const bool health_on = config.health || config.recovery;
+  if (config.observability || health_on) {
     obs_ = std::make_unique<obs::ObsSink>();
     path_->breaker().set_obs(obs_.get());
     if (sprintcon_) sprintcon_->set_obs(obs_.get());
@@ -201,7 +273,7 @@ Rig::Rig(const RigConfig& config) : config_(config) {
   }
 
   // --- health monitoring ------------------------------------------------------
-  if (config.health) {
+  if (health_on) {
     health_ = std::make_unique<obs::HealthMonitor>(obs_.get());
     // Default rule set (thresholds discussed in DESIGN.md §8.5). Every
     // rule is quiet on a healthy rig by construction: divergence signals
@@ -235,9 +307,35 @@ Rig::Rig(const RigConfig& config) : config_(config) {
                        .signal = obs::HealthSignal::kWindowedP99,
                        .metric = "queue.response_ms.window",
                        .threshold = 500.0});
+    // UPS delivery audit: joules the discharge path failed to deliver
+    // against its command (sprintcon.cpp resolve_flows). Healthy hardware
+    // over-delivers if anything, so a sustained rate is the
+    // discharge-fault signature — ~30 W deficit across two 5 s checks.
+    health_->add_rule({.name = "ups-discharge-shortfall",
+                       .kind = obs::HealthRuleKind::kRateAbove,
+                       .signal = obs::HealthSignal::kCounter,
+                       .metric = "power.ups_shortfall_j",
+                       .threshold = 150.0});
     sim_->add_post_tick_hook([this](const sim::SimClock& clock) {
       if (clock.every(config_.health_period_s)) {
         health_->check(clock.now_s());
+      }
+    });
+  }
+
+  // --- recovery engine --------------------------------------------------------
+  if (config.recovery) {
+    recovery_target_ = std::make_unique<RigRecoveryTarget>(
+        *sprintcon_, *health_, queues_);
+    recovery_ = std::make_unique<recovery::RecoveryManager>(
+        obs_.get(), health_.get(), recovery_target_.get(),
+        config.playbook.empty() ? recovery::Playbook::defaults()
+                                : config.playbook);
+    // Registered after the health hook, so every health check is followed
+    // by exactly one engine poll at the same simulated instant.
+    sim_->add_post_tick_hook([this](const sim::SimClock& clock) {
+      if (clock.every(config_.health_period_s)) {
+        recovery_->poll(clock.now_s());
       }
     });
   }

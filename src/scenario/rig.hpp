@@ -26,6 +26,7 @@
 #include "obs/sink.hpp"
 #include "power/hybrid_store.hpp"
 #include "power/power_path.hpp"
+#include "recovery/recovery.hpp"
 #include "workload/request_queue.hpp"
 #include "server/rack.hpp"
 #include "sim/simulation.hpp"
@@ -110,6 +111,16 @@ struct RigConfig {
   /// touches physics, so recorded traces stay bit-identical.
   bool health = false;
   double health_period_s = 5.0;
+  /// Closed-loop recovery (implies health, requires Policy::kSprintCon):
+  /// a RecoveryManager polls right after every health check and drives
+  /// the playbook's escalation ladders against the controller — re-issue
+  /// commands, fall back MPC -> PID -> conservative cap, quarantine the
+  /// rig — with hysteretic de-escalation and MTTR accounting (DESIGN.md
+  /// §10). Like health, it reads metrics and commands the controller at
+  /// check boundaries only, so runs stay deterministic.
+  bool recovery = false;
+  /// Remediation playbook; empty selects recovery::Playbook::defaults().
+  recovery::Playbook playbook;
   /// Sliding-window metrics (mpc.step_us.window, sim.tick_us.window,
   /// queue.response_ms.window) rotate every metrics_window_s of sim time;
   /// quantiles cover the last kWindows such spans.
@@ -152,17 +163,26 @@ class Rig {
   obs::ObsSink* obs() noexcept { return obs_.get(); }
   const obs::ObsSink* obs() const noexcept { return obs_.get(); }
 
-  /// Health monitor; null unless config.health is set. Tests may add
-  /// scenario-specific rules before run().
+  /// Health monitor; null unless config.health (or recovery) is set.
+  /// Tests may add scenario-specific rules before run().
   obs::HealthMonitor* health() noexcept { return health_.get(); }
+  const obs::HealthMonitor* health() const noexcept { return health_.get(); }
+
+  /// Recovery engine; null unless config.recovery is set.
+  recovery::RecoveryManager* recovery() noexcept { return recovery_.get(); }
+  const recovery::RecoveryManager* recovery() const noexcept {
+    return recovery_.get();
+  }
 
   /// Full structured report: summary + metrics snapshot + event timeline.
   /// Requires config.observability (throws InvalidStateError otherwise).
   obs::RunReport report() const;
 
-  /// Request-queue sources when use_request_queues is set (observers; the
-  /// cores own them). Empty otherwise.
-  const std::vector<const workload::RequestQueueSource*>& request_queues()
+  /// Request-queue sources when use_request_queues is set (the cores own
+  /// them; pointers stay valid for the rig's lifetime). Empty otherwise.
+  /// Non-const so the facility's re-route coordinator (and the rig's own
+  /// quarantine shed) can scale the offered load.
+  const std::vector<workload::RequestQueueSource*>& request_queues()
       const noexcept {
     return queues_;
   }
@@ -177,9 +197,11 @@ class Rig {
   std::unique_ptr<core::SprintConController> sprintcon_;
   std::unique_ptr<baselines::SgctController> sgct_;
   std::unique_ptr<baselines::PowerCapController> cap_;
-  std::vector<const workload::RequestQueueSource*> queues_;
+  std::vector<workload::RequestQueueSource*> queues_;
   std::unique_ptr<obs::ObsSink> obs_;
   std::unique_ptr<obs::HealthMonitor> health_;
+  std::unique_ptr<recovery::RecoveryTarget> recovery_target_;
+  std::unique_ptr<recovery::RecoveryManager> recovery_;
   bool ran_ = false;
 };
 

@@ -14,14 +14,21 @@ RequestQueueSource::RequestQueueSource(const RequestQueueConfig& config,
   SPRINTCON_EXPECTS(config.max_backlog > 0.0, "backlog cap must be positive");
 }
 
+void RequestQueueSource::set_load_scale(double scale) {
+  SPRINTCON_EXPECTS(scale >= 0.0, "load scale must be >= 0");
+  load_scale_ = scale;
+}
+
 double RequestQueueSource::step(double dt_s, double freq) {
   SPRINTCON_EXPECTS(dt_s > 0.0, "dt must be positive");
   SPRINTCON_EXPECTS(freq >= 0.0 && freq <= 1.0 + 1e-9,
                     "normalized frequency must be in [0, 1]");
 
-  // Offered load fraction -> arrival rate.
+  // Offered load fraction -> arrival rate. The routing scale rides on
+  // top of the generator so the underlying trace (and its RNG stream)
+  // advances identically whether or not traffic is re-routed.
   const double load_fraction = offered_.step(dt_s);
-  arrival_rate_ = load_fraction * config_.service_rate_peak;
+  arrival_rate_ = load_fraction * config_.service_rate_peak * load_scale_;
 
   // Fluid queue: capacity this tick, work available, work served.
   const double capacity = config_.service_rate_peak * freq * dt_s;

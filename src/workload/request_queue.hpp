@@ -59,6 +59,13 @@ class RequestQueueSource final : public UtilizationSource {
   /// (mean backlog / arrival rate) plus the bare service time.
   double response_time_s() const noexcept { return response_s_; }
 
+  /// Scale the offered arrival rate (request routing, not admission
+  /// control): 0 drains the queue entirely — the front-end stopped
+  /// sending traffic here — while > 1 models load re-routed *onto* this
+  /// queue from a quarantined peer. Takes effect on the next tick.
+  void set_load_scale(double scale);
+  double load_scale() const noexcept { return load_scale_; }
+
  private:
   RequestQueueConfig config_;
   InteractiveTraceGenerator offered_;
@@ -67,6 +74,7 @@ class RequestQueueSource final : public UtilizationSource {
   double utilization_ = 0.0;
   double response_s_ = 0.0;
   double shed_ = 0.0;
+  double load_scale_ = 1.0;
 };
 
 }  // namespace sprintcon::workload

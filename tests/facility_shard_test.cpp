@@ -9,6 +9,7 @@
 // the same bits, not similar trajectories.
 #include <gtest/gtest.h>
 
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -138,6 +139,164 @@ TEST(FacilityShard, InvalidEpochThrows) {
   FacilityConfig cfg = sweep_config(2, 1, false, false);
   cfg.epoch_s = 0.0;
   EXPECT_THROW(Facility{cfg}, InvalidArgumentError);
+}
+
+// ---------------------------------------------------------------------------
+// Worker supervision: fail-fast vs degrade
+// ---------------------------------------------------------------------------
+
+/// Make rack `r` blow up its owning worker once simulated time passes
+/// `t_fail_s` (the hook throws from inside the rig's tick loop).
+void arm_failure(Facility& facility, std::size_t r, double t_fail_s) {
+  facility.rig(r).simulation().add_post_tick_hook(
+      [t_fail_s](const sim::SimClock& clock) {
+        if (clock.now_s() >= t_fail_s) {
+          throw std::runtime_error("injected rig failure");
+        }
+      });
+}
+
+TEST(FacilityWorkerFailure, FailFastStillRethrowsByDefault) {
+  FacilityConfig cfg = sweep_config(4, 2, false, true);
+  ASSERT_EQ(cfg.worker_failure, WorkerFailurePolicy::kFailFast);
+  Facility facility(cfg);
+  arm_failure(facility, 0, 40.0);
+  EXPECT_THROW(facility.run(), std::runtime_error);
+  // The error is still fully accounted even though it rethrew.
+  ASSERT_EQ(facility.worker_errors().size(), 1u);
+  EXPECT_EQ(facility.worker_errors()[0].worker, 0u);
+  EXPECT_EQ(facility.worker_errors()[0].epoch, 1u);
+  EXPECT_EQ(facility.worker_errors()[0].what, "injected rig failure");
+  EXPECT_EQ(facility.obs()->metrics().snapshot().counter(
+                "facility.worker_errors"),
+            1u);
+}
+
+TEST(FacilityWorkerFailure, DegradePolicyCompletesOnSurvivors) {
+  FacilityConfig cfg = sweep_config(4, 2, false, true);
+  cfg.worker_failure = WorkerFailurePolicy::kDegrade;
+  Facility facility(cfg);
+  // Worker 0 owns racks {0, 1}; blowing up rack 0 in epoch 1 takes the
+  // whole shard out of service.
+  arm_failure(facility, 0, 40.0);
+  EXPECT_NO_THROW(facility.run());
+
+  EXPECT_TRUE(facility.rack_failed(0));
+  EXPECT_TRUE(facility.rack_failed(1));
+  EXPECT_FALSE(facility.rack_failed(2));
+  EXPECT_FALSE(facility.rack_failed(3));
+  EXPECT_EQ(facility.num_failed_racks(), 2u);
+  EXPECT_EQ(facility.quarantined_racks(),
+            (std::vector<std::size_t>{0, 1}));
+
+  // Survivors ran to completion; the failed shard stopped mid-run.
+  EXPECT_GE(facility.rig(2).simulation().clock().now_s(), 70.0);
+  EXPECT_GE(facility.rig(3).simulation().clock().now_s(), 70.0);
+  EXPECT_LT(facility.rig(0).simulation().clock().now_s(), 70.0);
+
+  // The loss is observable: records, counter, events, failed-racks gauge.
+  ASSERT_EQ(facility.worker_errors().size(), 1u);
+  EXPECT_EQ(facility.worker_errors()[0].worker, 0u);
+  const obs::MetricsSnapshot snap = facility.obs()->metrics().snapshot();
+  EXPECT_EQ(snap.counter("facility.worker_errors"), 1u);
+  EXPECT_DOUBLE_EQ(snap.gauge("facility.failed_racks"), 2.0);
+  bool saw_event = false;
+  for (const obs::Event& e : facility.obs()->events().snapshot()) {
+    if (e.cause != nullptr && std::string(e.cause) == "worker_failure") {
+      saw_event = true;
+      EXPECT_DOUBLE_EQ(e.field("worker"), 0.0);
+      EXPECT_DOUBLE_EQ(e.field("epoch"), 1.0);
+    }
+  }
+  EXPECT_TRUE(saw_event);
+
+  // Aggregation still works over the truncated series (the failed racks
+  // hold their last sample instead of underflowing the index math).
+  const TimeSeries total = facility.facility_total_power();
+  EXPECT_GT(total.size(), 0u);
+  EXPECT_GT(total.max(), 0.0);
+}
+
+TEST(FacilityWorkerFailure, MultipleWorkerFailuresAllCounted) {
+  FacilityConfig cfg = sweep_config(4, 4, false, true);
+  cfg.worker_failure = WorkerFailurePolicy::kDegrade;
+  Facility facility(cfg);
+  arm_failure(facility, 1, 35.0);
+  arm_failure(facility, 3, 35.0);
+  EXPECT_NO_THROW(facility.run());
+
+  EXPECT_EQ(facility.num_failed_racks(), 2u);
+  EXPECT_TRUE(facility.rack_failed(1));
+  EXPECT_TRUE(facility.rack_failed(3));
+  ASSERT_EQ(facility.worker_errors().size(), 2u);  // none silently dropped
+  EXPECT_EQ(facility.worker_errors()[0].worker, 1u);
+  EXPECT_EQ(facility.worker_errors()[1].worker, 3u);
+  EXPECT_EQ(facility.obs()->metrics().snapshot().counter(
+                "facility.worker_errors"),
+            2u);
+}
+
+TEST(FacilityWorkerFailure, SequentialDegradeLosesTheSingleShard) {
+  FacilityConfig cfg = sweep_config(2, 1, false, true);
+  cfg.worker_failure = WorkerFailurePolicy::kDegrade;
+  Facility facility(cfg);
+  arm_failure(facility, 0, 40.0);
+  EXPECT_NO_THROW(facility.run());
+  // One worker owns everything, so everything is lost — but run() still
+  // completes and reports instead of throwing.
+  EXPECT_EQ(facility.num_failed_racks(), 2u);
+  ASSERT_EQ(facility.worker_errors().size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Recovery + re-route determinism across shard counts
+// ---------------------------------------------------------------------------
+
+TEST(FacilityShard, RecoveryAndRerouteAreBitIdenticalToSequential) {
+  // Aggressive playbook: quarantine on the first degraded poll, release
+  // after one healthy poll — so the 70 s run exercises quarantine, the
+  // epoch-boundary load re-route, and the unwind, in both executors.
+  const auto make_config = [](std::size_t threads) {
+    FacilityConfig cfg = sweep_config(3, threads, false, true);
+    cfg.recovery = true;
+    // The quarantine window in this scenario is roughly t in [40, 60);
+    // boundaries every 10 s make sure the re-route coordinator sees it.
+    cfg.epoch_s = 10.0;
+    cfg.rack.use_request_queues = true;
+    cfg.rack.faults =
+        fault::FaultPlan::parse_string("dvfs_stuck start=10 duration=40");
+    recovery::RecoveryRule rule;
+    rule.trigger = "dvfs-divergence";
+    rule.ladder = {{.action = recovery::ActionKind::kQuarantine,
+                    .max_retries = 1,
+                    .backoff_checks = 1,
+                    .max_backoff_checks = 1}};
+    rule.deescalate_after = 1;
+    cfg.rack.playbook.rules.push_back(rule);
+    return cfg;
+  };
+
+  Facility reference(make_config(1));
+  reference.run();
+  // The scenario is live: the fault actually drove a quarantine and the
+  // facility re-routed load at least once (out, and back after unwind).
+  EXPECT_GE(
+      reference.obs()->metrics().snapshot().counter("facility.reroutes"), 1u);
+  std::uint64_t actions = 0;
+  for (std::size_t r = 0; r < reference.num_racks(); ++r) {
+    actions += reference.rig(r).recovery()->actions_taken();
+  }
+  EXPECT_GT(actions, 0u);
+
+  for (const std::size_t threads : {2, 3}) {
+    Facility sharded(make_config(threads));
+    sharded.run();
+    expect_bit_identical(reference, sharded,
+                         "recovery threads=" + std::to_string(threads));
+    EXPECT_EQ(
+        sharded.obs()->metrics().snapshot().counter("facility.reroutes"),
+        reference.obs()->metrics().snapshot().counter("facility.reroutes"));
+  }
 }
 
 }  // namespace
