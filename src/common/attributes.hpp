@@ -1,0 +1,17 @@
+// Function attributes with project-lint significance.
+#pragma once
+
+// SPRINTCON_HOT marks a function on the per-tick hot path: the rig tick
+// driver, the structured-QP solve, the SoA thermal kernel, the recorder
+// sample/append paths. It is both an optimizer hint (GCC/Clang `hot`)
+// and a machine-checked contract: scripts/lint_invariants.py rejects
+// direct heap allocation (new/delete/malloc/make_unique/make_shared) and
+// dynamic_cast in the body of any function so marked (rule `hot-alloc`,
+// DESIGN.md §11). Amortized container growth against a pre-sized
+// reservation (reserve_horizon, solver scratch) is allowed — the rule
+// bans the unconditional allocations, the ones that cost on every tick.
+#if defined(__GNUC__) || defined(__clang__)
+#define SPRINTCON_HOT __attribute__((hot))
+#else
+#define SPRINTCON_HOT
+#endif

@@ -19,7 +19,7 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -30,8 +30,10 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::packaged_task<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      UniqueMutexLock lock(mutex_);
+      // Predicate loop stays inline (not a lambda handed to wait) so the
+      // guarded stop_/tasks_ reads are checked against the held lock.
+      while (!stop_ && tasks_.empty()) cv_.wait(lock);
       if (tasks_.empty()) return;  // stop_ set and queue drained
       task = std::move(tasks_.front());
       tasks_.pop();
@@ -72,7 +74,7 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
       });
   std::future<void> future = packaged.get_future();
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     SPRINTCON_EXPECTS(!stop_, "thread pool is shutting down");
     tasks_.push(std::move(packaged));
     ++tasks_submitted_;
@@ -85,7 +87,7 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
 ThreadPool::Stats ThreadPool::stats() const {
   Stats s;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     s.tasks_submitted = tasks_submitted_;
     s.max_queue_depth = max_queue_depth_;
   }

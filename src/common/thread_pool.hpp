@@ -11,13 +11,13 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
-#include <condition_variable>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "common/thread_annotations.hpp"
 
 namespace sprintcon {
 
@@ -68,14 +68,14 @@ class ThreadPool {
   void record_completion(double elapsed_s) noexcept;
 
   std::vector<std::thread> workers_;
-  std::queue<std::packaged_task<void()>> tasks_;
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stop_ = false;
+  mutable Mutex mutex_;
+  std::queue<std::packaged_task<void()>> tasks_ SPRINTCON_GUARDED_BY(mutex_);
+  CondVar cv_;
+  bool stop_ SPRINTCON_GUARDED_BY(mutex_) = false;
   // Stats. Submission-side fields are guarded by mutex_ (already taken on
   // that path); completion-side fields are atomics updated by workers.
-  std::uint64_t tasks_submitted_ = 0;
-  std::size_t max_queue_depth_ = 0;
+  std::uint64_t tasks_submitted_ SPRINTCON_GUARDED_BY(mutex_) = 0;
+  std::size_t max_queue_depth_ SPRINTCON_GUARDED_BY(mutex_) = 0;
   std::atomic<std::uint64_t> tasks_completed_{0};
   std::atomic<double> total_task_s_{0.0};
   std::atomic<double> max_task_s_{0.0};

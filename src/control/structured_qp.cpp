@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/attributes.hpp"
 #include "common/validation.hpp"
 
 namespace sprintcon::control {
@@ -193,7 +194,8 @@ int solve_block_direct(const StructuredBlockQp& qp, std::size_t b,
 
 }  // namespace
 
-void solve_structured_qp(const StructuredBlockQp& qp, const Vector& x0,
+SPRINTCON_HOT void solve_structured_qp(const StructuredBlockQp& qp,
+                                       const Vector& x0,
                          const QpOptions& options, StructuredQpScratch& scratch,
                          QpResult& result) {
   qp.validate();

@@ -73,6 +73,8 @@ double structured_lambda_max_bound(const StructuredBlockQp& qp);
 /// Identical algorithm to solve_box_qp but with O(n Lc) iterations and the
 /// analytic step bound; writes the solution into `result` (whose vector
 /// capacity is reused across calls) and iterates entirely inside `scratch`.
+/// Hot path (SPRINTCON_HOT): after the scratch buffers have grown to
+/// fit, steady-state solves never allocate.
 void solve_structured_qp(const StructuredBlockQp& qp, const Vector& x0,
                          const QpOptions& options, StructuredQpScratch& scratch,
                          QpResult& result);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/attributes.hpp"
 #include "common/validation.hpp"
 #include "obs/metrics_registry.hpp"
 
@@ -48,7 +49,8 @@ EventLog::EventLog(std::size_t capacity) : ring_(std::max<std::size_t>(1, capaci
   SPRINTCON_EXPECTS(capacity >= 1, "event log needs capacity >= 1");
 }
 
-void EventLog::emit(double t_s, EventType type, const char* cause,
+SPRINTCON_HOT void EventLog::emit(double t_s, EventType type,
+                                  const char* cause,
                     std::initializer_list<EventField> fields) noexcept {
   if (next_ >= ring_.size() && drop_counter_ != nullptr) {
     drop_counter_->add(1);  // this emit overwrites the oldest retained event

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/attributes.hpp"
 #include "common/validation.hpp"
 
 namespace sprintcon::obs {
@@ -31,7 +32,7 @@ double Histogram::bucket_upper_edge(int i) noexcept {
   return std::ldexp(1.0, i + kMinExp);
 }
 
-void Histogram::record(double v) noexcept {
+SPRINTCON_HOT void Histogram::record(double v) noexcept {
   buckets_[static_cast<std::size_t>(bucket_index(v))].fetch_add(
       1, std::memory_order_relaxed);
   // First writer initializes both extrema via count 0 -> 1 transition
@@ -75,7 +76,7 @@ double Histogram::percentile(double p) const noexcept {
   return max();
 }
 
-void WindowedHistogram::record(double v) noexcept {
+SPRINTCON_HOT void WindowedHistogram::record(double v) noexcept {
   Window& w = windows_[static_cast<std::size_t>(
       current_.load(std::memory_order_relaxed) % kWindows)];
   w.buckets[static_cast<std::size_t>(Histogram::bucket_index(v))].fetch_add(
@@ -153,12 +154,13 @@ void MetricsRegistry::expect_unique(std::string_view name,
                                 std::string(name));
 }
 
+// Callers hold the lock (SPRINTCON_REQUIRES) so the guarded map can be
+// passed by reference without tripping the analysis at the call site.
 template <typename T>
 T& MetricsRegistry::get_or_create(
     std::map<std::string, std::unique_ptr<T>, std::less<>>& map,
     std::string_view name, const char* kind) {
   SPRINTCON_EXPECTS(!name.empty(), "metric name must be non-empty");
-  std::lock_guard<std::mutex> lock(mutex_);
   const auto it = map.find(name);
   if (it != map.end()) return *it->second;
   expect_unique(name, kind);
@@ -168,29 +170,33 @@ T& MetricsRegistry::get_or_create(
 }
 
 Counter& MetricsRegistry::counter(std::string_view name) {
+  const MutexLock lock(mutex_);
   return get_or_create(counters_, name, "counter");
 }
 
 Gauge& MetricsRegistry::gauge(std::string_view name) {
+  const MutexLock lock(mutex_);
   return get_or_create(gauges_, name, "gauge");
 }
 
 Histogram& MetricsRegistry::histogram(std::string_view name) {
+  const MutexLock lock(mutex_);
   return get_or_create(histograms_, name, "histogram");
 }
 
 WindowedHistogram& MetricsRegistry::windowed(std::string_view name) {
+  const MutexLock lock(mutex_);
   return get_or_create(windowed_, name, "windowed");
 }
 
 void MetricsRegistry::rotate_windows() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   for (const auto& [name, w] : windowed_) w->rotate();
 }
 
 MetricsSnapshot MetricsRegistry::snapshot() const {
   MetricsSnapshot out;
-  std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   for (const auto& [name, c] : counters_) out.counters[name] = c->value();
   for (const auto& [name, g] : gauges_) out.gauges[name] = g->value();
   for (const auto& [name, h] : histograms_) {

@@ -12,11 +12,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
+
+#include "common/thread_annotations.hpp"
 
 namespace sprintcon::obs {
 
@@ -186,15 +187,23 @@ class MetricsRegistry {
  private:
   template <typename T>
   T& get_or_create(std::map<std::string, std::unique_ptr<T>, std::less<>>& map,
-                   std::string_view name, const char* kind);
-  void expect_unique(std::string_view name, const char* kind) const;
+                   std::string_view name, const char* kind)
+      SPRINTCON_REQUIRES(mutex_);
+  void expect_unique(std::string_view name, const char* kind) const
+      SPRINTCON_REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  // The maps are guarded; the *metrics* they point at are not — handles
+  // returned by counter()/gauge()/... are stable unique_ptr targets whose
+  // update paths are lock-free atomics (the whole point of the registry).
+  mutable Mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      SPRINTCON_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      SPRINTCON_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      SPRINTCON_GUARDED_BY(mutex_);
   std::map<std::string, std::unique_ptr<WindowedHistogram>, std::less<>>
-      windowed_;
+      windowed_ SPRINTCON_GUARDED_BY(mutex_);
 };
 
 }  // namespace sprintcon::obs

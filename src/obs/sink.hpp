@@ -5,6 +5,12 @@
 // observability is disabled and every emit site costs exactly one
 // predictable branch (`if (obs_)`), which the perf_controller benchmark
 // holds to < 2% on the MPC hot path.
+//
+// Threading contract (checked where checkable — DESIGN.md §11): the
+// EventLog and the trace_ pointer are single-owner — wired before the
+// run, then touched only by the thread driving this rig. Only the
+// MetricsRegistry may be shared across threads; its registration map is
+// SPRINTCON_GUARDED_BY its mutex and the returned handles are lock-free.
 #pragma once
 
 #include <chrono>

@@ -5,6 +5,7 @@
 #include <string_view>
 #include <utility>
 
+#include "common/attributes.hpp"
 #include "common/validation.hpp"
 
 namespace sprintcon::obs {
@@ -16,7 +17,8 @@ TraceBuffer::TraceBuffer(std::uint32_t tid, std::string label,
   events_.reserve(capacity);
 }
 
-void TraceBuffer::append(const char* name, const char* cat, char ph,
+SPRINTCON_HOT void TraceBuffer::append(const char* name, const char* cat,
+                                       char ph,
                          const char* arg_key, double arg_value) noexcept {
   if (events_.size() >= capacity_) {
     ++dropped_;
@@ -40,7 +42,7 @@ Tracer::Tracer(std::size_t buffer_capacity)
 }
 
 TraceBuffer& Tracer::register_buffer(std::string label) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   buffers_.push_back(std::make_unique<TraceBuffer>(
       static_cast<std::uint32_t>(buffers_.size()), std::move(label),
       buffer_capacity_, epoch_));
@@ -48,19 +50,19 @@ TraceBuffer& Tracer::register_buffer(std::string label) {
 }
 
 std::size_t Tracer::num_buffers() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return buffers_.size();
 }
 
 std::uint64_t Tracer::total_events() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   std::uint64_t n = 0;
   for (const auto& b : buffers_) n += b->size();
   return n;
 }
 
 std::uint64_t Tracer::total_dropped() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   std::uint64_t n = 0;
   for (const auto& b : buffers_) n += b->dropped();
   return n;
@@ -80,7 +82,7 @@ void append_json_string(std::string& out, std::string_view s) {
 }  // namespace
 
 void Tracer::write_chrome_trace(std::ostream& out) const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   out << "{\"traceEvents\":[";
   bool first = true;
   std::string line;

@@ -21,10 +21,11 @@
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
+
+#include "common/thread_annotations.hpp"
 
 namespace sprintcon::obs {
 
@@ -113,8 +114,12 @@ class Tracer {
  private:
   TraceBuffer::Clock::time_point epoch_;
   std::size_t buffer_capacity_;
-  mutable std::mutex mutex_;
-  std::vector<std::unique_ptr<TraceBuffer>> buffers_;
+  // Guards the buffer *list* only: each TraceBuffer's append path is
+  // single-owner by contract (see class comment) and deliberately
+  // lock-free — the mutex covers registration and post-join export.
+  mutable Mutex mutex_;
+  std::vector<std::unique_ptr<TraceBuffer>> buffers_
+      SPRINTCON_GUARDED_BY(mutex_);
 };
 
 /// RAII span: begin on construction, end on destruction. A null buffer

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/attributes.hpp"
 #include "common/validation.hpp"
 
 namespace sprintcon::server {
@@ -33,7 +34,7 @@ void Server::attach_thermal(const ThermalSpec& spec) {
   }
 }
 
-void Server::step(double dt_s, double now_s) {
+SPRINTCON_HOT void Server::step(double dt_s, double now_s) {
   if (!powered_) {
     power_w_ = 0.0;
     inter_dyn_w_ = 0.0;

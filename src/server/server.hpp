@@ -36,6 +36,7 @@ class Server {
   void attach_thermal(const ThermalSpec& spec);
 
   /// Advance all cores and the fan by dt. No-op when powered off.
+  /// Hot path (SPRINTCON_HOT): the SoA thermal kernel runs in here.
   void step(double dt_s, double now_s);
 
   /// Ground-truth total power over the last interval (0 when off).

@@ -1,5 +1,6 @@
 #include "sim/recorder.hpp"
 
+#include "common/attributes.hpp"
 #include "common/validation.hpp"
 
 namespace sprintcon::sim {
@@ -41,7 +42,7 @@ void TraceRecorder::reserve_horizon(std::size_t expected_samples,
   for (TimeSeries& s : series_) s.reserve(expected_samples);
 }
 
-void TraceRecorder::sample() {
+SPRINTCON_HOT void TraceRecorder::sample() {
   for (const ScalarProbe& p : probes_) series_[p.series_index].push(p.fn());
   double buf[kMaxGroupChannels];
   for (const GroupProbe& g : groups_) {

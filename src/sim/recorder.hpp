@@ -50,7 +50,8 @@ class TraceRecorder {
   void reserve_horizon(std::size_t expected_samples,
                        std::size_t expected_channels = 24);
 
-  /// Sample all probes (called by Simulation once per tick).
+  /// Sample all probes (called by Simulation once per tick). Hot path
+  /// (SPRINTCON_HOT): appends against the reserve_horizon() reservation.
   void sample();
 
   bool has(std::string_view name) const;

@@ -1,5 +1,6 @@
 #include "sim/simulation.hpp"
 
+#include "common/attributes.hpp"
 #include "common/validation.hpp"
 #include "obs/sink.hpp"
 
@@ -16,7 +17,7 @@ void Simulation::add_post_tick_hook(std::function<void(const SimClock&)> hook) {
   hooks_.push_back(std::move(hook));
 }
 
-void Simulation::step_once() {
+SPRINTCON_HOT void Simulation::step_once() {
   const obs::ScopedTimer timer(tick_hist_, tick_window_);
   for (Component* c : components_) c->step(clock_);
   clock_.advance();

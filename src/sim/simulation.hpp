@@ -47,6 +47,8 @@ class Simulation {
 
   /// Advance exactly one tick: step components in order, advance the
   /// clock, sample the recorder.
+  /// One tick: components, clock, recorder, post-tick hooks. Hot path
+  /// (SPRINTCON_HOT): no direct heap allocation or dynamic_cast.
   void step_once();
 
   /// Run until clock.now_s() >= t_end_s.
