@@ -5,9 +5,9 @@
 #include <chrono>
 #include <cmath>
 #include <exception>
-#include <mutex>
 #include <thread>
 
+#include "common/thread_annotations.hpp"
 #include "common/validation.hpp"
 
 namespace sprintcon::scenario {
@@ -16,11 +16,14 @@ namespace {
 
 /// Captures *every* worker exception — the first as an exception_ptr for
 /// rethrow, all of them as (worker, epoch, what) records. Workers race on
-/// capture(); errors() / rethrow_first() are for after they have joined.
+/// capture(); errors() / rethrow_first() are meant for after they have
+/// joined, but take the lock anyway: the annotations make lock-free
+/// "post-join only" readers impossible to express, and the uncontended
+/// lock on these cold paths costs nothing.
 class ErrorCollector {
  public:
   void capture(std::size_t worker, std::size_t epoch) noexcept {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const MutexLock lock(mu_);
     if (!eptr_) eptr_ = std::current_exception();
     WorkerError err{worker, epoch, "unknown"};
     try {
@@ -32,10 +35,19 @@ class ErrorCollector {
     errors_.push_back(std::move(err));
   }
   void rethrow_first() {
-    if (eptr_) std::rethrow_exception(eptr_);
+    std::exception_ptr first;
+    {
+      const MutexLock lock(mu_);
+      first = eptr_;
+    }
+    if (first) std::rethrow_exception(first);
   }
-  bool any() const noexcept { return eptr_ != nullptr; }
+  bool any() const noexcept {
+    const MutexLock lock(mu_);
+    return eptr_ != nullptr;
+  }
   std::vector<WorkerError> take_errors() {
+    const MutexLock lock(mu_);
     std::sort(errors_.begin(), errors_.end(),
               [](const WorkerError& a, const WorkerError& b) {
                 return a.worker != b.worker ? a.worker < b.worker
@@ -45,9 +57,9 @@ class ErrorCollector {
   }
 
  private:
-  std::mutex mu_;
-  std::exception_ptr eptr_;
-  std::vector<WorkerError> errors_;
+  mutable Mutex mu_;
+  std::exception_ptr eptr_ SPRINTCON_GUARDED_BY(mu_);
+  std::vector<WorkerError> errors_ SPRINTCON_GUARDED_BY(mu_);
 };
 
 }  // namespace

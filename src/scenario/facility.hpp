@@ -163,6 +163,9 @@ class Facility {
   obs::Histogram* rack_run_us_ = nullptr;
   /// Per-rack failure flags; each slot is written only by the rack's
   /// owning worker and read with every worker parked (barrier/join).
+  /// Barrier-serialized, not mutex-guarded, so this is a documented
+  /// contract rather than a SPRINTCON_GUARDED_BY one — the epoch barrier
+  /// is the synchronization point (DESIGN.md §11).
   std::vector<std::uint8_t> rig_failed_;
   std::vector<WorkerError> worker_errors_;
   /// Re-route coordinator state: the out-of-service set applied at the
