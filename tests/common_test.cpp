@@ -4,6 +4,7 @@
 #include <cmath>
 #include <set>
 #include <sstream>
+#include <type_traits>
 
 #include "common/csv.hpp"
 #include "common/error.hpp"
@@ -38,6 +39,41 @@ TEST(Units, Literals) {
 TEST(Units, KwConversions) {
   EXPECT_DOUBLE_EQ(units::kw_to_w(4.8), 4800.0);
   EXPECT_DOUBLE_EQ(units::w_to_kw(3200.0), 3.2);
+}
+
+TEST(Units, QuantityArithmeticStaysInUnit) {
+  using units::Watts;
+  constexpr Watts a{150.0};
+  constexpr Watts b{50.0};
+  EXPECT_DOUBLE_EQ((a + b).value(), 200.0);
+  EXPECT_DOUBLE_EQ((a - b).value(), 100.0);
+  EXPECT_DOUBLE_EQ((a * 2.0).value(), 300.0);
+  EXPECT_DOUBLE_EQ((a / 2.0).value(), 75.0);
+  // Same-unit ratio is dimensionless.
+  EXPECT_DOUBLE_EQ(a / b, 3.0);
+  static_assert(std::is_same_v<decltype(a / b), double>);
+}
+
+TEST(Units, QuantityComparison) {
+  using units::Seconds;
+  EXPECT_LT(Seconds{1.0}, Seconds{2.0});
+  EXPECT_EQ(Seconds{2.0}, Seconds{2.0});
+  EXPECT_GE(Seconds{3.0}, Seconds{2.0});
+}
+
+TEST(Units, EnergyFromPowerAndDuration) {
+  // 250 W for a 15-minute sprint window.
+  const units::Joules e =
+      units::energy(units::Watts{250.0}, units::Seconds{900.0});
+  EXPECT_DOUBLE_EQ(e.value(), 225000.0);
+}
+
+TEST(Units, StrongTypedWhJouleRoundTrip) {
+  const units::Joules j = units::to_joules(units::WattHours{1.0});
+  EXPECT_DOUBLE_EQ(j.value(), 3600.0);
+  const units::WattHours back =
+      units::to_watt_hours(units::to_joules(units::WattHours{123.45}));
+  EXPECT_DOUBLE_EQ(back.value(), 123.45);
 }
 
 // --- rng ----------------------------------------------------------------------
