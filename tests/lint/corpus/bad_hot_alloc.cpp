@@ -1,0 +1,23 @@
+// Known-bad: unconditional heap allocation inside a SPRINTCON_HOT
+// function. The tick path must work against pre-sized buffers.
+// lint:expect(hot-alloc)
+#define SPRINTCON_HOT
+
+namespace sprintcon {
+
+struct Sample {
+  double v;
+};
+
+SPRINTCON_HOT double hot_mean(const double* data, int n) {
+  Sample* scratch = new Sample[static_cast<unsigned>(n)];
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    scratch[i].v = data[i];
+    sum += scratch[i].v;
+  }
+  delete[] scratch;
+  return n > 0 ? sum / n : 0.0;
+}
+
+}  // namespace sprintcon

@@ -1,0 +1,21 @@
+// Known-bad: dynamic_cast in a SPRINTCON_HOT function. RTTI lookups on
+// the tick path were hoisted to wiring time in PR 4 (the battery
+// downcast); this rule keeps them from creeping back.
+// lint:expect(hot-alloc)
+#define SPRINTCON_HOT
+
+namespace sprintcon {
+
+struct Store {
+  virtual ~Store() = default;
+};
+struct Battery : Store {
+  double soc = 1.0;
+};
+
+SPRINTCON_HOT double hot_soc(Store* store) {
+  if (auto* b = dynamic_cast<Battery*>(store)) return b->soc;
+  return 0.0;
+}
+
+}  // namespace sprintcon

@@ -1,0 +1,17 @@
+// Known-bad: ambient randomness in the controller. random_device (and
+// rand/srand) make runs irreproducible; every draw must come from the
+// seeded sprintcon::Rng.
+// lint:treat-as(src/control/bad_dither.cpp)
+// lint:expect(wall-clock)
+#include <cstdlib>
+#include <random>
+
+namespace sprintcon::control {
+
+double dithered_setpoint(double setpoint_w) {
+  std::random_device rd;
+  std::srand(rd());
+  return setpoint_w + static_cast<double>(std::rand() % 100) * 0.01;
+}
+
+}  // namespace sprintcon::control

@@ -1,0 +1,16 @@
+// Known-bad: reads wall time inside the simulation decision path. A
+// component that keys behavior off steady_clock breaks bit-identical
+// sharded execution and the golden trace.
+// lint:treat-as(src/sim/bad_component.cpp)
+// lint:expect(wall-clock)
+#include <chrono>
+
+namespace sprintcon::sim {
+
+double jittered_deadline_s(double base_s) {
+  const auto now = std::chrono::steady_clock::now();
+  return base_s +
+         std::chrono::duration<double>(now.time_since_epoch()).count();
+}
+
+}  // namespace sprintcon::sim

@@ -1,0 +1,26 @@
+// Known-good: everything here is legal and must produce zero findings.
+//  * steady_clock is fine because this file "lives" in src/obs (the
+//    allowlisted layer that owns the wall-clock epoch);
+//  * the SPRINTCON_HOT function only touches pre-sized state;
+//  * "new" / "malloc" inside comments and strings must not count.
+// lint:treat-as(src/obs/good_probe.cpp)
+#define SPRINTCON_HOT
+#include <chrono>
+
+namespace sprintcon::obs {
+
+// A comment mentioning new, delete, malloc(, dynamic_cast and
+// random_device — none of which is code.
+double epoch_us() {
+  const char* label = "uses new malloc( steady_clock in a string";
+  (void)label;
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+SPRINTCON_HOT void hot_fill(double* out, int n, double v) {
+  for (int i = 0; i < n; ++i) out[i] = v;  // no allocation, no downcast
+}
+
+}  // namespace sprintcon::obs

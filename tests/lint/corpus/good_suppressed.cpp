@@ -1,0 +1,25 @@
+// Known-good: a decision-path file whose single wall-clock read carries
+// an explicit lint:allow suppression (with its why), plus a HOT
+// declaration (no body — must not be scanned into the next function).
+// lint:treat-as(src/power/good_profiled.cpp)
+#define SPRINTCON_HOT
+#include <chrono>
+#include <vector>
+
+namespace sprintcon::power {
+
+double profile_once() {
+  const auto t0 =
+      std::chrono::steady_clock::now();  // lint:allow(wall-clock): measures the solver, never feeds it
+  return std::chrono::duration<double>(t0.time_since_epoch()).count();
+}
+
+SPRINTCON_HOT void hot_step(std::vector<double>& state, double dt_s);
+
+// Not SPRINTCON_HOT: construction-time allocation is fine here, and the
+// declaration above must not make the linter scan this body.
+inline std::vector<double>* build_state(int n) {
+  return new std::vector<double>(static_cast<unsigned>(n), 0.0);
+}
+
+}  // namespace sprintcon::power
