@@ -1,18 +1,5 @@
 #!/usr/bin/env bash
-# Build the observability test suites under AddressSanitizer and run them
-# (everything labeled `obs`: the event log / metrics / export unit tests
-# plus the safety-event, observed-facility, span-tracer, windowed-metrics
-# and health-monitor suites). Equivalent to:
-#   cmake --preset asan && cmake --build --preset asan && ctest --preset asan
-set -euo pipefail
-
-cd "$(dirname "$0")/.."
-
-cmake -B build-asan -S . \
-  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  -DSPRINTCON_ASAN=ON \
-  -DSPRINTCON_BUILD_BENCH=OFF \
-  -DSPRINTCON_BUILD_EXAMPLES=OFF
-cmake --build build-asan -j "$(nproc)" --target obs_test safety_test \
-  facility_test export_fuzz_test trace_test windowed_metrics_test health_test
-ctest --test-dir build-asan -L obs --output-on-failure "$@"
+# Build the observability test suites under AddressSanitizer and run them.
+# Thin wrapper over the parameterized driver; the flavor table (targets,
+# ctest label) lives in run_sanitizer.sh.
+exec "$(dirname "$0")/run_sanitizer.sh" asan "$@"

@@ -1,19 +1,5 @@
 #!/usr/bin/env bash
 # Build the concurrency-sensitive test suites under ThreadSanitizer and run
-# them (everything labeled `threads`: the thread pool, the parallel
-# facility, and the span tracer under the sharded runtime — trace_test's
-# facility-with-tracing case drives per-worker TraceBuffers and the
-# concurrent metric emitters from every shard). Equivalent to:
-#   cmake --preset tsan && cmake --build --preset tsan && ctest --preset tsan
-set -euo pipefail
-
-cd "$(dirname "$0")/.."
-
-cmake -B build-tsan -S . \
-  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  -DSPRINTCON_TSAN=ON \
-  -DSPRINTCON_BUILD_BENCH=OFF \
-  -DSPRINTCON_BUILD_EXAMPLES=OFF
-cmake --build build-tsan -j "$(nproc)" --target thread_pool_test facility_test \
-  facility_shard_test obs_test trace_test
-ctest --test-dir build-tsan -L threads --output-on-failure "$@"
+# them. Thin wrapper over the parameterized driver; the flavor table
+# (targets, ctest label) lives in run_sanitizer.sh.
+exec "$(dirname "$0")/run_sanitizer.sh" tsan "$@"

@@ -1,17 +1,5 @@
 #!/usr/bin/env bash
-# Build the FULL test suite under UndefinedBehaviorSanitizer and run it —
-# including the `fault` chaos sweeps and the export fuzz harness, whose
-# whole point is proving the parsers and injectors are UB-free on hostile
-# input. Equivalent to:
-#   cmake --preset ubsan && cmake --build --preset ubsan && ctest --preset ubsan
-set -euo pipefail
-
-cd "$(dirname "$0")/.."
-
-cmake -B build-ubsan -S . \
-  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  -DSPRINTCON_UBSAN=ON \
-  -DSPRINTCON_BUILD_BENCH=OFF \
-  -DSPRINTCON_BUILD_EXAMPLES=OFF
-cmake --build build-ubsan -j "$(nproc)"
-ctest --test-dir build-ubsan --output-on-failure -j "$(nproc)" "$@"
+# Build the FULL test suite under UndefinedBehaviorSanitizer and run it.
+# Thin wrapper over the parameterized driver; the flavor table (targets,
+# ctest label) lives in run_sanitizer.sh.
+exec "$(dirname "$0")/run_sanitizer.sh" ubsan "$@"
