@@ -6,8 +6,16 @@
 // dumps the same data for scripts/report_check.py.
 //
 //   ./build/examples/facility_dashboard [num_racks] [--json FILE]
-//                                       [--faults PLAN] [--trace FILE]
-//                                       [--health] [--recovery]
+//                                       [--scenario FILE] [--faults PLAN]
+//                                       [--trace FILE] [--health]
+//                                       [--recovery]
+//
+// `--scenario FILE` loads a declarative scenario (src/scenario/spec.hpp;
+// see examples/scenarios/ for the named library) and runs exactly the
+// facility it describes — fleet size, rack shape, workload mix, surges,
+// grid events and embedded faults all come from the file, so a positional
+// rack count or `--faults` plan cannot be combined with it. `--threads`,
+// `--health` and `--recovery` still apply on top.
 //
 // `--faults PLAN` loads a fault plan (see src/fault/fault.hpp for the
 // format) and injects it into every rack — the dashboard then shows how
@@ -37,6 +45,7 @@
 #include "obs/health.hpp"
 #include "recovery/recovery.hpp"
 #include "scenario/facility.hpp"
+#include "scenario/loader.hpp"
 
 #ifndef SPRINTCON_GIT_COMMIT
 #define SPRINTCON_GIT_COMMIT "unknown"
@@ -134,10 +143,13 @@ int main(int argc, char** argv) {
   using namespace sprintcon;
 
   std::size_t racks = 4;
+  bool racks_set = false;
   std::string json_path;
   std::string faults_path;
+  std::string scenario_path;
   std::string trace_path;
   std::size_t threads = 0;  // 0 = one worker per hardware thread
+  bool threads_set = false;
   bool health = false;
   bool recovery = false;
   for (int i = 1; i < argc; ++i) {
@@ -146,45 +158,75 @@ int main(int argc, char** argv) {
       json_path = argv[++i];
     } else if (arg == "--faults" && i + 1 < argc) {
       faults_path = argv[++i];
+    } else if (arg == "--scenario" && i + 1 < argc) {
+      scenario_path = argv[++i];
     } else if (arg == "--trace" && i + 1 < argc) {
       trace_path = argv[++i];
     } else if (arg == "--threads" && i + 1 < argc) {
       threads = static_cast<std::size_t>(std::atoi(argv[++i]));
+      threads_set = true;
     } else if (arg == "--health") {
       health = true;
     } else if (arg == "--recovery") {
       recovery = true;
     } else {
       racks = static_cast<std::size_t>(std::atoi(arg.c_str()));
+      racks_set = true;
     }
   }
-  if (racks == 0 || racks > 16) {
+  if (scenario_path.empty() && (racks == 0 || racks > 16)) {
     std::cerr << "usage: facility_dashboard [1..16 racks] [--json FILE]"
-                 " [--faults PLAN] [--trace FILE] [--threads N]"
-                 " [--health] [--recovery]\n";
+                 " [--scenario FILE] [--faults PLAN] [--trace FILE]"
+                 " [--threads N] [--health] [--recovery]\n";
+    return 1;
+  }
+  if (!scenario_path.empty() && (!faults_path.empty() || racks_set)) {
+    std::cerr << "--scenario describes the whole facility; it cannot be"
+                 " combined with --faults or a rack count\n";
     return 1;
   }
 
   scenario::FacilityConfig config;
-  config.num_racks = racks;
-  config.staggered = true;
-  config.observability = true;
-  config.tracing = !trace_path.empty();
-  config.run_threads = threads;
-  config.rack.health = health;
-  config.recovery = recovery;
-  if (!faults_path.empty()) {
+  if (!scenario_path.empty()) {
     try {
-      config.rack.faults = fault::FaultPlan::load(faults_path);
+      const scenario::ScenarioSpec spec =
+          scenario::load_scenario(scenario_path);
+      config = scenario::compile(spec);
+      std::cout << "scenario '" << spec.name << "' from " << scenario_path
+                << ": " << config.num_racks << " racks, "
+                << spec.duration_s << " s, " << spec.surges.size()
+                << " surge(s), " << spec.grid_events.size()
+                << " grid event(s), " << spec.faults.faults.size()
+                << " scripted fault(s)\n";
     } catch (const std::exception& e) {
-      std::cerr << "bad fault plan " << faults_path << ": " << e.what()
-                << "\n";
+      std::cerr << "bad scenario: " << e.what() << "\n";
       return 1;
     }
-    std::cout << "injecting " << config.rack.faults.faults.size()
-              << " scripted fault(s) from " << faults_path
-              << " into every rack\n";
+    racks = config.num_racks;
+    if (threads_set) config.run_threads = threads;
+    if (health) config.rack.health = true;
+    if (recovery) config.recovery = true;
+  } else {
+    config.num_racks = racks;
+    config.staggered = true;
+    config.run_threads = threads;
+    config.rack.health = health;
+    config.recovery = recovery;
+    if (!faults_path.empty()) {
+      try {
+        config.rack.faults = fault::FaultPlan::load(faults_path);
+      } catch (const std::exception& e) {
+        std::cerr << "bad fault plan " << faults_path << ": " << e.what()
+                  << "\n";
+        return 1;
+      }
+      std::cout << "injecting " << config.rack.faults.faults.size()
+                << " scripted fault(s) from " << faults_path
+                << " into every rack\n";
+    }
   }
+  config.observability = true;
+  config.tracing = !trace_path.empty();
   std::cout << "running " << racks
             << " SprintCon racks with staggered overload windows...\n\n";
   scenario::Facility facility(config);
@@ -229,8 +271,9 @@ int main(int argc, char** argv) {
     std::cout << "\n";
   }
 
-  // Fault timeline: which scripted fault fired when, per rack.
-  if (!faults_path.empty()) {
+  // Fault timeline: which scripted fault fired when, per rack (covers both
+  // --faults plans and scenario-embedded faults / grid events).
+  if (!config.rack.faults.empty()) {
     std::cout << "\nfault timeline:\n";
     for (std::size_t r = 0; r < reports.size(); ++r) {
       for (const obs::Event& e : reports[r].events) {

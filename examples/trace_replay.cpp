@@ -7,11 +7,18 @@
 // interactive cores replay it. Usage:
 //
 //   ./build/examples/trace_replay [trace.csv] [--faults PLAN]
+//                                 [--scenario FILE]
 //
 // With a csv argument, the file is loaded instead of the synthesized
 // trace (one value column, or time_s,value rows). `--faults PLAN` loads
 // a fault plan (src/fault/fault.hpp) and replays the trace under it —
 // handy for reproducing a production incident against a recorded load.
+//
+// `--scenario FILE` replays one rack of a declarative scenario
+// (src/scenario/spec.hpp, examples/scenarios/): the rack shape, workload,
+// surges, grid events and faults all come from the file, so it cannot be
+// combined with a csv trace or `--faults`. Useful for debugging a single
+// rack of a scenario without spinning up the whole facility_dashboard.
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -21,22 +28,72 @@
 #include "common/rng.hpp"
 #include "core/sprintcon.hpp"
 #include "fault/injector.hpp"
+#include "scenario/loader.hpp"
+#include "scenario/rig.hpp"
 #include "sim/simulation.hpp"
 #include "workload/batch_profile.hpp"
 #include "workload/trace_io.hpp"
+
+namespace {
+
+/// One-rack replay of a scenario file: compile, run rack 0, summarize.
+int replay_scenario(const std::string& path) {
+  using namespace sprintcon;
+  scenario::FacilityConfig config;
+  try {
+    const scenario::ScenarioSpec spec = scenario::load_scenario(path);
+    config = scenario::compile(spec);
+    std::cout << "replaying rack 0 of scenario '" << spec.name << "' ("
+              << spec.duration_s << " s, " << spec.faults.faults.size()
+              << " fault(s), " << spec.grid_events.size()
+              << " grid event(s))\n";
+  } catch (const std::exception& e) {
+    std::cerr << "bad scenario: " << e.what() << "\n";
+    return 1;
+  }
+  scenario::Rig rig(config.rack);
+  rig.run();
+  const metrics::RunSummary s = rig.summary();
+  std::cout << "\nafter the scenario on one rack:\n"
+            << "  breaker trips:        " << s.cb_trips
+            << "\n  UPS energy used:      " << s.ups_discharged_wh << " Wh"
+            << "\n  depth of discharge:   " << s.depth_of_discharge
+            << "\n  mean interactive f:   " << s.avg_freq_interactive
+            << "\n  mean batch f:         " << s.avg_freq_batch
+            << "\n  deadlines:            "
+            << (s.all_deadlines_met ? "met" : "MISSED") << "\n";
+  if (rig.fault_injector() != nullptr) {
+    std::cout << "  fault activations:    "
+              << rig.fault_injector()->activations() << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace sprintcon;
 
   std::string csv_path;
   std::string faults_path;
+  std::string scenario_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--faults" && i + 1 < argc) {
       faults_path = argv[++i];
+    } else if (arg == "--scenario" && i + 1 < argc) {
+      scenario_path = argv[++i];
     } else {
       csv_path = arg;
     }
+  }
+  if (!scenario_path.empty()) {
+    if (!faults_path.empty() || !csv_path.empty()) {
+      std::cerr << "--scenario describes the whole run; it cannot be"
+                   " combined with --faults or a csv trace\n";
+      return 1;
+    }
+    return replay_scenario(scenario_path);
   }
 
   fault::FaultPlan plan;

@@ -3,17 +3,20 @@
 # near-identical build-and-run scripts. run_asan.sh / run_ubsan.sh /
 # run_tsan.sh remain as thin wrappers for muscle memory and CI.
 #
-#   asan    AddressSanitizer over the observability suites (label `obs`:
-#           event log / metrics / export unit tests plus the safety-event,
-#           observed-facility, span-tracer, windowed-metrics and
-#           health-monitor suites)
+#   asan    AddressSanitizer over the observability and scenario suites
+#           (labels `obs` + `scenario`: event log / metrics / export unit
+#           tests plus the safety-event, observed-facility, span-tracer,
+#           windowed-metrics and health-monitor suites, the scenario
+#           loader/fuzzer, and the golden scenario replays — so every
+#           shipped scenario gets one replay under ASan)
 #   tsan    ThreadSanitizer over the concurrency-sensitive suites (label
 #           `threads`: the thread pool, the parallel facility, and the span
 #           tracer under the sharded runtime — trace_test's
 #           facility-with-tracing case drives per-worker TraceBuffers and
 #           the concurrent metric emitters from every shard)
 #   ubsan   UndefinedBehaviorSanitizer over the FULL suite — including the
-#           `fault` chaos sweeps and the export fuzz harness, whose whole
+#           `fault` chaos sweeps, the export fuzz harness, and the
+#           scenario spec fuzzer + golden scenario replays, whose whole
 #           point is proving the parsers and injectors are UB-free on
 #           hostile input
 #
@@ -35,8 +38,9 @@ case "$FLAVOR" in
   asan)
     CMAKE_FLAG=SPRINTCON_ASAN
     TARGETS=(obs_test safety_test facility_test export_fuzz_test
-      trace_test windowed_metrics_test health_test)
-    CTEST_LABEL=obs
+      trace_test windowed_metrics_test health_test
+      scenario_test scenario_fuzz_test golden_trace_test)
+    CTEST_LABEL='obs|scenario'
     CTEST_PARALLEL=0
     ;;
   tsan)

@@ -1,14 +1,18 @@
 #!/usr/bin/env python3
-"""Regenerate the golden-trace snapshot (tests/golden/canonical_trace.jsonl).
+"""Regenerate the golden-trace snapshots under tests/golden/.
 
 The golden_trace_test compares the canonical rig's downsampled channels
-against the checked-in snapshot; after an *intentional* behavior change,
-run this script to rebuild the test and rewrite the snapshot:
+(and every shipped scenario's replay, bit-identically) against checked-in
+snapshots; after an *intentional* behavior change, run this script to
+rebuild the test and rewrite the affected snapshots:
 
-    python3 scripts/update_golden.py [--build-dir build]
+    python3 scripts/update_golden.py                  # canonical rig only
+    python3 scripts/update_golden.py --scenario NAME  # one scenario golden
+    python3 scripts/update_golden.py --all            # canonical + library
 
-The script then re-runs the test in verification mode so a stale write
-(or nondeterminism) is caught immediately.
+NAME is the scenario's file stem under examples/scenarios/ (e.g.
+"rolling-brownout"). The script then re-runs the test in verification
+mode so a stale write (or nondeterminism) is caught immediately.
 """
 
 import argparse
@@ -18,6 +22,8 @@ import sys
 
 REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 GOLDEN = os.path.join(REPO, "tests", "golden", "canonical_trace.jsonl")
+SCENARIO_DIR = os.path.join(REPO, "examples", "scenarios")
+SCENARIO_GOLDEN_DIR = os.path.join(REPO, "tests", "golden", "scenarios")
 
 
 def run(cmd, **kwargs):
@@ -26,10 +32,27 @@ def run(cmd, **kwargs):
 
 
 def main():
-    parser = argparse.ArgumentParser(description=__doc__)
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
     parser.add_argument("--build-dir", default="build",
                         help="CMake build directory (default: build)")
+    group = parser.add_mutually_exclusive_group()
+    group.add_argument("--scenario", metavar="NAME",
+                       help="regenerate one scenario golden "
+                            "(tests/golden/scenarios/NAME.jsonl) instead "
+                            "of the canonical trace")
+    group.add_argument("--all", action="store_true",
+                       help="regenerate the canonical trace and every "
+                            "scenario golden")
     args = parser.parse_args()
+
+    if args.scenario:
+        scn = os.path.join(SCENARIO_DIR, args.scenario + ".scn")
+        if not os.path.exists(scn):
+            known = sorted(p[:-4] for p in os.listdir(SCENARIO_DIR)
+                           if p.endswith(".scn"))
+            sys.exit(f"no such scenario: {scn}\nknown: {', '.join(known)}")
 
     build = os.path.join(REPO, args.build_dir)
     if not os.path.isdir(build):
@@ -42,15 +65,26 @@ def main():
     if not os.path.exists(test_bin):
         sys.exit(f"test binary not found: {test_bin}")
 
-    # Pass 1: regenerate the snapshot.
+    # Pass 1: regenerate the selected snapshot(s).
     env = dict(os.environ, SPRINTCON_GOLDEN_UPDATE="1")
-    run([test_bin, "--gtest_filter=GoldenTrace.MatchesCanonicalRun"],
-        env=env)
-    print(f"wrote {GOLDEN}")
+    if args.all:
+        run([test_bin, "--gtest_filter=GoldenTrace.MatchesCanonicalRun"
+             ":GoldenTrace.ScenarioLibraryMatchesGoldens"], env=env)
+        print(f"wrote {GOLDEN} and {SCENARIO_GOLDEN_DIR}/*.jsonl")
+    elif args.scenario:
+        env["SPRINTCON_GOLDEN_SCENARIO"] = args.scenario
+        run([test_bin,
+             "--gtest_filter=GoldenTrace.ScenarioLibraryMatchesGoldens"],
+            env=env)
+        print(f"wrote {SCENARIO_GOLDEN_DIR}/{args.scenario}.jsonl")
+    else:
+        run([test_bin, "--gtest_filter=GoldenTrace.MatchesCanonicalRun"],
+            env=env)
+        print(f"wrote {GOLDEN}")
 
-    # Pass 2: verify the fresh snapshot round-trips.
+    # Pass 2: verify the fresh snapshot(s) round-trip.
     run([test_bin])
-    print("golden trace regenerated and verified")
+    print("golden trace(s) regenerated and verified")
 
 
 if __name__ == "__main__":

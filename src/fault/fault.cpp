@@ -31,15 +31,14 @@ constexpr KindName kKindNames[] = {
     {FaultKind::kUtilityOutage, "utility_outage"},
 };
 
-// Shortest round-trippable decimal form for plan serialization.
-std::string format_double(double v) {
+}  // namespace
+
+std::string format_plan_double(double v) {
   if (std::isinf(v)) return v > 0.0 ? "inf" : "-inf";
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%.17g", v);
   return buf;
 }
-
-}  // namespace
 
 const char* to_string(FaultKind kind) noexcept {
   for (const KindName& k : kKindNames) {
@@ -57,13 +56,46 @@ FaultKind parse_fault_kind(std::string_view name) {
 
 std::string FaultSpec::to_line() const {
   std::string out = to_string(kind);
-  out += " start=" + format_double(start_s);
+  out += " start=" + format_plan_double(start_s);
   if (std::isfinite(duration_s)) {
-    out += " duration=" + format_double(duration_s);
+    out += " duration=" + format_plan_double(duration_s);
   }
-  if (magnitude != 0.0) out += " magnitude=" + format_double(magnitude);
-  if (period_s != 0.0) out += " period=" + format_double(period_s);
+  if (magnitude != 0.0) out += " magnitude=" + format_plan_double(magnitude);
+  if (period_s != 0.0) out += " period=" + format_plan_double(period_s);
   return out;
+}
+
+FaultSpec FaultSpec::parse_line(std::string_view line) {
+  std::istringstream tokens{std::string(line)};
+  std::string word;
+  SPRINTCON_EXPECTS(static_cast<bool>(tokens >> word),
+                    "empty fault spec line");
+  FaultSpec spec;
+  spec.kind = parse_fault_kind(word);
+  while (tokens >> word) {
+    const std::size_t eq = word.find('=');
+    SPRINTCON_EXPECTS(eq != std::string::npos && eq > 0 && eq + 1 < word.size(),
+                      "expected key=value, got '" + word + "'");
+    const std::string key = word.substr(0, eq);
+    const std::string value = word.substr(eq + 1);
+    char* end = nullptr;
+    const double v = std::strtod(value.c_str(), &end);
+    SPRINTCON_EXPECTS(end == value.c_str() + value.size(),
+                      "malformed number '" + value + "'");
+    if (key == "start") {
+      spec.start_s = v;
+    } else if (key == "duration") {
+      spec.duration_s = v;
+    } else if (key == "magnitude") {
+      spec.magnitude = v;
+    } else if (key == "period") {
+      spec.period_s = v;
+    } else {
+      SPRINTCON_EXPECTS(false, "unknown key '" + key + "'");
+    }
+  }
+  spec.validate();
+  return spec;
 }
 
 void FaultSpec::validate() const {
@@ -132,40 +164,13 @@ FaultPlan FaultPlan::parse(std::istream& in) {
     // Strip comments and surrounding whitespace.
     const std::size_t hash = line.find('#');
     if (hash != std::string::npos) line.erase(hash);
-    std::istringstream tokens(line);
-    std::string word;
-    if (!(tokens >> word)) continue;  // blank / comment-only line
-
-    FaultSpec spec;
-    spec.kind = parse_fault_kind(word);
-    while (tokens >> word) {
-      const std::size_t eq = word.find('=');
-      SPRINTCON_EXPECTS(eq != std::string::npos && eq > 0 &&
-                            eq + 1 < word.size(),
-                        "fault plan line " + std::to_string(line_no) +
-                            ": expected key=value, got '" + word + "'");
-      const std::string key = word.substr(0, eq);
-      const std::string value = word.substr(eq + 1);
-      char* end = nullptr;
-      const double v = std::strtod(value.c_str(), &end);
-      SPRINTCON_EXPECTS(end == value.c_str() + value.size(),
-                        "fault plan line " + std::to_string(line_no) +
-                            ": malformed number '" + value + "'");
-      if (key == "start") {
-        spec.start_s = v;
-      } else if (key == "duration") {
-        spec.duration_s = v;
-      } else if (key == "magnitude") {
-        spec.magnitude = v;
-      } else if (key == "period") {
-        spec.period_s = v;
-      } else {
-        SPRINTCON_EXPECTS(false, "fault plan line " + std::to_string(line_no) +
-                                     ": unknown key '" + key + "'");
-      }
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    try {
+      plan.faults.push_back(FaultSpec::parse_line(line));
+    } catch (const InvalidArgumentError& e) {
+      throw InvalidArgumentError("fault plan line " + std::to_string(line_no) +
+                                 ": " + e.what());
     }
-    spec.validate();
-    plan.faults.push_back(spec);
   }
   return plan;
 }

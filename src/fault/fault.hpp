@@ -56,6 +56,10 @@ const char* to_string(FaultKind kind) noexcept;
 /// Inverse of to_string; throws InvalidArgumentError on unknown names.
 FaultKind parse_fault_kind(std::string_view name);
 
+/// Shortest round-trippable decimal form ("%.17g", "inf"/"-inf") used by
+/// the plan and scenario text formats so parse(serialize(x)) == x bitwise.
+std::string format_plan_double(double v);
+
 /// One scheduled fault.
 struct FaultSpec {
   FaultKind kind = FaultKind::kMeterNoise;
@@ -76,8 +80,15 @@ struct FaultSpec {
 
   /// One plan-format line (no newline); parse() round-trips it.
   std::string to_line() const;
+  /// Parse one plan-format line ("<kind> key=value ..."; no comment
+  /// handling) and validate it. Throws InvalidArgumentError without any
+  /// line-number context — callers that track position (FaultPlan::parse,
+  /// the scenario loader) wrap the message with their own file:line.
+  static FaultSpec parse_line(std::string_view line);
   /// Validate ranges for the kind; throws InvalidArgumentError.
   void validate() const;
+
+  bool operator==(const FaultSpec&) const = default;
 };
 
 /// An ordered list of scheduled faults.
@@ -86,6 +97,8 @@ struct FaultPlan {
 
   bool empty() const noexcept { return faults.empty(); }
   void validate() const;
+
+  bool operator==(const FaultPlan&) const = default;
 
   /// Serialize to the text format (one to_line() per spec).
   std::string to_text() const;

@@ -105,6 +105,7 @@ void RigConfig::validate() const {
                     "recovery drives the SprintCon controller ladder; "
                     "enable it with Policy::kSprintCon");
   sprint.validate();
+  interactive.validate();
   faults.validate();
   playbook.validate();
 }

@@ -1,0 +1,241 @@
+#include "scenario/spec.hpp"
+
+#include <cmath>
+
+#include "common/validation.hpp"
+
+namespace sprintcon::scenario {
+
+namespace {
+
+using fault::format_plan_double;
+
+struct PolicyToken {
+  Policy policy;
+  const char* token;
+};
+
+constexpr PolicyToken kPolicyTokens[] = {
+    {Policy::kSprintCon, "sprintcon"},
+    {Policy::kSgct, "sgct"},
+    {Policy::kSgctV1, "sgct_v1"},
+    {Policy::kSgctV2, "sgct_v2"},
+    {Policy::kPowerCap, "power_cap"},
+};
+
+struct GridKindName {
+  GridEventKind kind;
+  const char* name;
+};
+
+constexpr GridKindName kGridKindNames[] = {
+    {GridEventKind::kOutage, "outage"},
+    {GridEventKind::kDerate, "derate"},
+};
+
+std::string bool_token(bool v) { return v ? "true" : "false"; }
+
+}  // namespace
+
+const char* policy_token(Policy policy) noexcept {
+  for (const PolicyToken& p : kPolicyTokens) {
+    if (p.policy == policy) return p.token;
+  }
+  return "unknown";
+}
+
+Policy parse_policy_token(std::string_view token) {
+  for (const PolicyToken& p : kPolicyTokens) {
+    if (token == p.token) return p.policy;
+  }
+  SPRINTCON_EXPECTS(false, "unknown policy: " + std::string(token));
+}
+
+const char* to_string(GridEventKind kind) noexcept {
+  for (const GridKindName& k : kGridKindNames) {
+    if (k.kind == kind) return k.name;
+  }
+  return "unknown";
+}
+
+GridEventKind parse_grid_event_kind(std::string_view name) {
+  for (const GridKindName& k : kGridKindNames) {
+    if (name == k.name) return k.kind;
+  }
+  SPRINTCON_EXPECTS(false, "unknown grid event kind: " + std::string(name));
+}
+
+// ---------------------------------------------------------------------------
+// Per-section validation
+// ---------------------------------------------------------------------------
+
+void SurgeSpec::validate() const {
+  SPRINTCON_EXPECTS(start_s >= 0.0, "surge start must be non-negative");
+  SPRINTCON_EXPECTS(duration_s > 0.0 && std::isfinite(duration_s),
+                    "surge duration must be positive and finite");
+  SPRINTCON_EXPECTS(peak_utilization > 0.0 && peak_utilization <= 1.0,
+                    "surge peak must be in (0, 1]");
+  SPRINTCON_EXPECTS(ramp_s > 0.0, "surge ramp must be positive");
+  SPRINTCON_EXPECTS(ramp_s < duration_s,
+                    "surge ramp must be shorter than its duration");
+}
+
+void GridEventSpec::validate() const {
+  SPRINTCON_EXPECTS(start_s >= 0.0, "grid event start must be non-negative");
+  SPRINTCON_EXPECTS(duration_s > 0.0 && std::isfinite(duration_s),
+                    "grid event duration must be positive and finite");
+  switch (kind) {
+    case GridEventKind::kOutage:
+      SPRINTCON_EXPECTS(fraction == 1.0, "outage takes no fraction");
+      break;
+    case GridEventKind::kDerate:
+      SPRINTCON_EXPECTS(fraction > 0.0 && fraction < 1.0,
+                        "derate needs fraction (kept CB rating) in (0, 1)");
+      break;
+  }
+}
+
+void FleetSpec::validate() const {
+  SPRINTCON_EXPECTS(racks > 0, "fleet needs at least one rack");
+  SPRINTCON_EXPECTS(epoch_s > 0.0, "epoch length must be positive");
+}
+
+void RackSpec::validate() const {
+  SPRINTCON_EXPECTS(servers > 0, "rack needs at least one server");
+  SPRINTCON_EXPECTS(ups_wh > 0.0, "UPS capacity must be positive");
+  SPRINTCON_EXPECTS(supercap_wh >= 0.0,
+                    "supercap capacity must be non-negative");
+  SPRINTCON_EXPECTS(deadline_s > 0.0, "batch deadline must be positive");
+  SPRINTCON_EXPECTS(work_scale > 0.0, "work scale must be positive");
+  SPRINTCON_EXPECTS(cb_rated_w > 0.0, "CB rating must be positive");
+  SPRINTCON_EXPECTS(overload > 1.0, "overload degree must exceed 1");
+  SPRINTCON_EXPECTS(overload_s > 0.0, "overload window must be positive");
+  SPRINTCON_EXPECTS(recovery_s > 0.0, "recovery window must be positive");
+}
+
+void WorkloadSpec::validate() const {
+  // Reuse the trace generator's own validation by building the config the
+  // loader would; keeps the two layers from drifting apart.
+  workload::InteractiveTraceConfig trace;
+  trace.mean_utilization = mean_util;
+  trace.idle_utilization = idle_util;
+  trace.ramp_up_s = ramp_up_s;
+  trace.swell_amplitude = swell_amplitude;
+  trace.swell_period_s = swell_period_s;
+  trace.noise_sigma = noise_sigma;
+  trace.noise_tau_s = noise_tau_s;
+  trace.spike_rate_per_s = spike_rate_per_s;
+  trace.spike_magnitude = spike_magnitude;
+  trace.spike_decay_s = spike_decay_s;
+  trace.validate();
+}
+
+void ScenarioSpec::validate() const {
+  SPRINTCON_EXPECTS(!name.empty(), "scenario needs a name");
+  for (const char c : name) {
+    SPRINTCON_EXPECTS((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                          c == '-' || c == '_',
+                      "scenario name must be [a-z0-9_-]: '" + name + "'");
+  }
+  SPRINTCON_EXPECTS(duration_s > 0.0 && std::isfinite(duration_s),
+                    "duration must be positive and finite");
+  SPRINTCON_EXPECTS(dt_s > 0.0 && dt_s <= duration_s,
+                    "dt must be positive and at most the duration");
+  fleet.validate();
+  rack.validate();
+  workload.validate();
+  SPRINTCON_EXPECTS(!fleet.recovery || rack.policy == Policy::kSprintCon,
+                    "recovery requires policy=sprintcon");
+  for (const SurgeSpec& surge : surges) surge.validate();
+  for (std::size_t i = 1; i < surges.size(); ++i) {
+    // Down-ramp of surge i-1 must complete before surge i starts, so the
+    // lowered envelope points stay strictly sorted.
+    SPRINTCON_EXPECTS(
+        surges[i].start_s >= surges[i - 1].end_s() + surges[i - 1].ramp_s,
+        "overlapping surge windows (including the down-ramp)");
+  }
+  for (const GridEventSpec& event : grid_events) event.validate();
+  faults.validate();
+}
+
+// ---------------------------------------------------------------------------
+// Serialization
+// ---------------------------------------------------------------------------
+
+std::string SurgeSpec::to_line() const {
+  return "surge start=" + format_plan_double(start_s) +
+         " duration=" + format_plan_double(duration_s) +
+         " peak=" + format_plan_double(peak_utilization) +
+         " ramp=" + format_plan_double(ramp_s);
+}
+
+std::string GridEventSpec::to_line() const {
+  std::string out = "grid ";
+  out += to_string(kind);
+  out += " start=" + format_plan_double(start_s);
+  out += " duration=" + format_plan_double(duration_s);
+  if (kind == GridEventKind::kDerate) {
+    out += " fraction=" + format_plan_double(fraction);
+  }
+  return out;
+}
+
+std::string ScenarioSpec::to_text() const {
+  std::string out = "scenario name=" + name;
+  out += " seed=" + std::to_string(seed);
+  out += " fault_seed=" + std::to_string(fault_seed);
+  out += " duration=" + format_plan_double(duration_s);
+  out += " dt=" + format_plan_double(dt_s);
+  out += '\n';
+
+  out += "fleet racks=" + std::to_string(fleet.racks);
+  out += " threads=" + std::to_string(fleet.threads);
+  out += " staggered=" + bool_token(fleet.staggered);
+  out += " epoch=" + format_plan_double(fleet.epoch_s);
+  out += " health=" + bool_token(fleet.health);
+  out += " recovery=" + bool_token(fleet.recovery);
+  out += '\n';
+
+  out += "rack servers=" + std::to_string(rack.servers);
+  out += " interactive_cores=" + std::to_string(rack.interactive_cores);
+  out += " dedicated=" + bool_token(rack.dedicated);
+  out += std::string(" policy=") + policy_token(rack.policy);
+  out += " ups_wh=" + format_plan_double(rack.ups_wh);
+  out += " supercap_wh=" + format_plan_double(rack.supercap_wh);
+  out += " deadline=" + format_plan_double(rack.deadline_s);
+  out += " work_scale=" + format_plan_double(rack.work_scale);
+  out += " cb_rated_w=" + format_plan_double(rack.cb_rated_w);
+  out += " overload=" + format_plan_double(rack.overload);
+  out += " overload_s=" + format_plan_double(rack.overload_s);
+  out += " recovery_s=" + format_plan_double(rack.recovery_s);
+  out += '\n';
+
+  out += "workload mean_util=" + format_plan_double(workload.mean_util);
+  out += " idle_util=" + format_plan_double(workload.idle_util);
+  out += " ramp_up=" + format_plan_double(workload.ramp_up_s);
+  out += " swell_amplitude=" + format_plan_double(workload.swell_amplitude);
+  out += " swell_period=" + format_plan_double(workload.swell_period_s);
+  out += " noise_sigma=" + format_plan_double(workload.noise_sigma);
+  out += " noise_tau=" + format_plan_double(workload.noise_tau_s);
+  out += " spike_rate=" + format_plan_double(workload.spike_rate_per_s);
+  out += " spike_magnitude=" + format_plan_double(workload.spike_magnitude);
+  out += " spike_decay=" + format_plan_double(workload.spike_decay_s);
+  out += " queueing=" + bool_token(workload.queueing);
+  out += '\n';
+
+  for (const SurgeSpec& surge : surges) {
+    out += surge.to_line();
+    out += '\n';
+  }
+  for (const GridEventSpec& event : grid_events) {
+    out += event.to_line();
+    out += '\n';
+  }
+  for (const fault::FaultSpec& spec : faults.faults) {
+    out += "fault " + spec.to_line();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace sprintcon::scenario

@@ -51,6 +51,11 @@ struct InteractiveTraceConfig {
   /// over this many seconds at the start of the trace.
   double ramp_up_s = 20.0;
   double idle_utilization = 0.15;
+
+  /// Validate ranges and envelope monotonicity (points strictly sorted by
+  /// time, means in [0, 1]); throws InvalidArgumentError. The scenario
+  /// loader relies on this when lowering surge windows to envelopes.
+  void validate() const;
 };
 
 /// Deterministic per-core interactive utilization generator.

@@ -8,20 +8,31 @@
 // essentially exactly while large power channels tolerate benign
 // cross-platform floating-point drift but not behavioral change.
 //
+// The scenario library (examples/scenarios/*.scn) is pinned the same way,
+// but *bit-identically*: every shipped scenario must have a golden under
+// tests/golden/scenarios/<name>.jsonl (and vice versa — stale goldens
+// fail), and a replay must reproduce it exactly. %.17g round-trips
+// doubles, so the text snapshot pins the full bit pattern.
+//
 // To regenerate after an *intentional* behavior change:
-//   python3 scripts/update_golden.py        # or:
+//   python3 scripts/update_golden.py [--scenario NAME | --all]   # or:
 //   SPRINTCON_GOLDEN_UPDATE=1 ./build/tests/golden_trace_test
+// (SPRINTCON_GOLDEN_SCENARIO=NAME restricts the scenario regeneration.)
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <map>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "scenario/facility.hpp"
+#include "scenario/loader.hpp"
 #include "scenario/rig.hpp"
 
 namespace sprintcon::scenario {
@@ -29,6 +40,8 @@ namespace {
 
 constexpr const char* kGoldenPath =
     SPRINTCON_GOLDEN_DIR "/canonical_trace.jsonl";
+constexpr const char* kScenarioGoldenDir = SPRINTCON_GOLDEN_DIR "/scenarios";
+constexpr const char* kScenarioDir = SPRINTCON_SCENARIO_DIR;
 constexpr std::size_t kStride = 10;
 
 const char* const kChannels[] = {
@@ -145,6 +158,123 @@ TEST(GoldenTrace, MatchesCanonicalRun) {
           << " s). If the behavior change is intentional, regenerate with "
           << "scripts/update_golden.py.";
     }
+  }
+}
+
+std::vector<double> downsample(const std::vector<double>& full) {
+  std::vector<double> sampled;
+  for (std::size_t i = 0; i < full.size(); i += kStride) {
+    sampled.push_back(full[i]);
+  }
+  return sampled;
+}
+
+/// Replay one scenario file and extract the pinned channels: the facility
+/// aggregate feed plus every rack-0 trace channel.
+std::map<std::string, std::vector<double>> scenario_channels(
+    const std::filesystem::path& scn) {
+  Facility facility(compile(load_scenario(scn.string())));
+  facility.run();
+  std::map<std::string, std::vector<double>> out;
+  out["facility.cb_power_w"] = downsample(facility.facility_cb_power().values());
+  out["facility.total_power_w"] =
+      downsample(facility.facility_total_power().values());
+  for (const char* name : kChannels) {
+    out[std::string("rack0.") + name] =
+        downsample(facility.rig(0).recorder().series(name).values());
+  }
+  return out;
+}
+
+std::vector<std::filesystem::path> shipped_scenarios() {
+  std::vector<std::filesystem::path> out;
+  for (const auto& entry : std::filesystem::directory_iterator(kScenarioDir)) {
+    if (entry.path().extension() == ".scn") out.push_back(entry.path());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+// Every shipped scenario replays bit-identically to its checked-in golden.
+// A scenario without a golden (or an unparseable golden) fails loudly.
+TEST(GoldenTrace, ScenarioLibraryMatchesGoldens) {
+  const std::vector<std::filesystem::path> scenarios = shipped_scenarios();
+  ASSERT_GE(scenarios.size(), 4u)
+      << "scenario library missing from " << kScenarioDir;
+
+  const char* update = std::getenv("SPRINTCON_GOLDEN_UPDATE");
+  const bool updating = update != nullptr && update[0] != '\0';
+  const char* only = std::getenv("SPRINTCON_GOLDEN_SCENARIO");
+
+  for (const std::filesystem::path& scn : scenarios) {
+    const std::string name = scn.stem().string();
+    if (only != nullptr && only[0] != '\0' && name != only) continue;
+    SCOPED_TRACE("scenario " + name);
+    const auto channels = scenario_channels(scn);
+    const std::string golden_path =
+        std::string(kScenarioGoldenDir) + "/" + name + ".jsonl";
+
+    if (updating) {
+      std::filesystem::create_directories(kScenarioGoldenDir);
+      std::ofstream out(golden_path);
+      ASSERT_TRUE(out) << "cannot write " << golden_path;
+      for (const auto& [channel, values] : channels) {
+        out << channel_to_json(channel, values) << '\n';
+      }
+      continue;
+    }
+
+    std::ifstream in(golden_path);
+    ASSERT_TRUE(in) << "scenario '" << name << "' has no golden at "
+                    << golden_path
+                    << " — run scripts/update_golden.py --scenario " << name;
+    std::map<std::string, std::vector<double>> golden;
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      std::string channel;
+      std::vector<double> values;
+      ASSERT_TRUE(parse_channel_line(line, channel, values))
+          << "malformed golden line: " << line;
+      golden[channel] = std::move(values);
+    }
+
+    ASSERT_EQ(golden.size(), channels.size())
+        << "golden channel set changed — regenerate with "
+        << "scripts/update_golden.py --scenario " << name;
+    for (const auto& [channel, got] : channels) {
+      ASSERT_TRUE(golden.count(channel) != 0)
+          << "golden file lacks channel " << channel;
+      const std::vector<double>& want = golden.at(channel);
+      ASSERT_EQ(got.size(), want.size()) << "channel " << channel;
+      for (std::size_t i = 0; i < want.size(); ++i) {
+        // Bit-identical: %.17g round-trips exactly, so == is the contract.
+        ASSERT_EQ(got[i], want[i])
+            << "channel '" << channel << "' diverged at sample " << i
+            << " (t=" << i * kStride << " s). If intentional, regenerate "
+            << "with scripts/update_golden.py --scenario " << name;
+      }
+    }
+  }
+  if (updating) {
+    GTEST_SKIP() << "scenario goldens regenerated under "
+                 << kScenarioGoldenDir;
+  }
+}
+
+// The inverse direction: a golden with no matching scenario is stale and
+// must be deleted (otherwise renames silently orphan the regression).
+TEST(GoldenTrace, NoStaleScenarioGoldens) {
+  if (!std::filesystem::exists(kScenarioGoldenDir)) GTEST_SKIP();
+  for (const auto& entry :
+       std::filesystem::directory_iterator(kScenarioGoldenDir)) {
+    if (entry.path().extension() != ".jsonl") continue;
+    const std::filesystem::path scn =
+        std::filesystem::path(kScenarioDir) /
+        (entry.path().stem().string() + ".scn");
+    EXPECT_TRUE(std::filesystem::exists(scn))
+        << "stale golden " << entry.path()
+        << " has no scenario at " << scn << " — delete it";
   }
 }
 
